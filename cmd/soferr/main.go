@@ -1,0 +1,178 @@
+// Command soferr runs the paper-reproduction experiments and utilities.
+//
+// Usage:
+//
+//	soferr list                      list the experiments (tables/figures)
+//	soferr run <id>|all [flags]      run experiments and print their tables
+//	soferr workloads [flags]         simulate every benchmark; print stats and AVFs
+//	soferr config                    print the Table 1 machine configuration
+//
+// Flags for run / workloads:
+//
+//	-trials N        Monte-Carlo trials per point (default 200000)
+//	-instructions N  simulated instructions per benchmark (default 300000)
+//	-seed N          deterministic seed (default 1)
+//	-quick           shrink grids and trial counts
+//	-csv             emit CSV instead of aligned text
+//	-v               log progress to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/soferr/soferr/internal/experiments"
+	"github.com/soferr/soferr/internal/turandot"
+	"github.com/soferr/soferr/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "soferr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		usage(stdout)
+		return fmt.Errorf("missing command")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		trials       = fs.Int("trials", 0, "Monte-Carlo trials per point (0 = default)")
+		instructions = fs.Int("instructions", 0, "instructions per simulated benchmark (0 = default)")
+		seed         = fs.Uint64("seed", 1, "deterministic seed")
+		quick        = fs.Bool("quick", false, "shrink grids and trial counts")
+		asCSV        = fs.Bool("csv", false, "emit CSV instead of text")
+		verbose      = fs.Bool("v", false, "log progress to stderr")
+	)
+
+	switch cmd {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-8s %-12s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return nil
+
+	case "config":
+		r := experiments.NewRunner(experiments.Options{Quick: true})
+		tab, err := r.Table1()
+		if err != nil {
+			return err
+		}
+		return tab.Fprint(stdout)
+
+	case "run":
+		if len(rest) == 0 {
+			return fmt.Errorf("run: need an experiment id or 'all' (try 'soferr list')")
+		}
+		id := rest[0]
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		opt := experiments.Options{
+			Trials:       *trials,
+			Instructions: *instructions,
+			Seed:         *seed,
+			Quick:        *quick,
+		}
+		if *verbose {
+			opt.Log = stderr
+		}
+		r := experiments.NewRunner(opt)
+		var list []experiments.Experiment
+		if id == "all" {
+			list = experiments.All()
+		} else {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				return err
+			}
+			list = []experiments.Experiment{e}
+		}
+		for i, e := range list {
+			tab, err := e.Run(r)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			if *asCSV {
+				if err := tab.WriteCSV(stdout); err != nil {
+					return err
+				}
+			} else {
+				if err := tab.Fprint(stdout); err != nil {
+					return err
+				}
+			}
+			if i < len(list)-1 {
+				fmt.Fprintln(stdout)
+			}
+		}
+		return nil
+
+	case "workloads":
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		n := *instructions
+		if n == 0 {
+			n = 100000
+		}
+		return runWorkloads(stdout, n, *seed)
+
+	case "help", "-h", "--help":
+		usage(stdout)
+		return nil
+
+	default:
+		usage(stderr)
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func runWorkloads(w io.Writer, instructions int, seed uint64) error {
+	fmt.Fprintf(w, "%-9s %7s %8s %8s | %7s %7s %7s %7s\n",
+		"bench", "ipc", "mispred", "l2miss", "dec", "int", "fp", "reg")
+	for _, p := range workload.All() {
+		prog, err := p.Generate(instructions, seed)
+		if err != nil {
+			return err
+		}
+		sim, err := turandot.New(turandot.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(prog)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
+		}
+		tr, err := res.Traces()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-9s %7.3f %7.1f%% %8d | %7.3f %7.3f %7.3f %7.3f\n",
+			p.Name, res.Stats.IPC(), 100*res.Stats.MispredictRate(), res.Stats.L2Misses,
+			tr.Decode.AVF(), tr.Int.AVF(), tr.FP.AVF(), tr.RegFile.AVF())
+	}
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `soferr - architecture-level soft error analysis (DSN'07 reproduction)
+
+commands:
+  list         list the experiments (paper tables/figures)
+  run <id|all> run experiments and print their tables
+  workloads    simulate every benchmark; print stats and AVFs
+  config       print the Table 1 machine configuration
+
+flags for run/workloads:
+  -trials N -instructions N -seed N -quick -csv -v
+`)
+}

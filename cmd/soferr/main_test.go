@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestList(t *testing.T) {
+	out, _, err := runCLI(t, "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "fig3", "fig6b", "sec54", "extphase"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestConfig(t *testing.T) {
+	out, _, err := runCLI(t, "config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2.0 GHz") || !strings.Contains(out, "150 entries") {
+		t.Errorf("config output missing Table 1 values:\n%s", out)
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	out, _, err := runCLI(t, "run", "fig4", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig4") || !strings.Contains(out, "rel err") {
+		t.Errorf("fig4 output malformed:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out, _, err := runCLI(t, "run", "fig4", "-quick", "-csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "N components,") {
+		t.Errorf("CSV output missing header:\n%s", out)
+	}
+	if strings.Contains(out, "==") {
+		t.Error("CSV output contains text-table decorations")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	_, _, err := runCLI(t, "run", "nope")
+	if err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunMissingID(t *testing.T) {
+	_, _, err := runCLI(t, "run")
+	if err == nil {
+		t.Error("missing id accepted")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, _, err := runCLI(t, "frobnicate")
+	if err == nil {
+		t.Error("unknown command accepted")
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	_, _, err := runCLI(t)
+	if err == nil {
+		t.Error("no command accepted")
+	}
+}
+
+func TestHelp(t *testing.T) {
+	out, _, err := runCLI(t, "help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "commands:") {
+		t.Error("help output malformed")
+	}
+}
+
+func TestWorkloadsSurvey(t *testing.T) {
+	out, _, err := runCLI(t, "workloads", "-instructions", "5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gzip", "swim", "sixtrack", "ipc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("workloads output missing %q", want)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 22 { // header + 21 benchmarks
+		t.Errorf("workloads output should have 22 lines:\n%s", out)
+	}
+}

@@ -1,0 +1,45 @@
+// Package soferr is an architecture-level soft-error reliability
+// toolkit: a Go reproduction of "Architecture-Level Soft Error
+// Analysis: Examining the Limits of Common Assumptions" (Li, Adve,
+// Bose, Rivers — DSN 2007).
+//
+// # What it does
+//
+// Radiation-induced soft errors are transient bit flips. Architectural
+// masking means most raw errors do not affect program outcome, and the
+// industry-standard way to account for it is the AVF+SOFR method:
+// derate each component's raw error rate by its architecture
+// vulnerability factor (AVF), sum the derated failure rates (SOFR), and
+// invert to get the system MTTF. Both steps assume things about the
+// masked failure process — uniform vulnerability and exponential times
+// to failure — that architectural masking can violate.
+//
+// This package provides every tool needed to quantify when that
+// matters:
+//
+//   - Masking traces (Trace): periodic descriptions of when a raw error
+//     in a component would be masked, built from schedules, bit vectors,
+//     or the bundled cycle-level processor simulator.
+//   - The AVF step (AVF, AVFMTTF) and the SOFR step (SOFRMTTF).
+//   - A first-principles Monte-Carlo estimator (MonteCarloMTTF) that
+//     makes neither assumption.
+//   - A SoftArch-style exact survival model (SoftArchMTTF) that computes
+//     the same quantity in closed form.
+//   - Closed-form analytics for the paper's counter-example workloads
+//     (BusyIdleMTTF and friends).
+//   - A trace-driven out-of-order POWER4-like timing simulator and 21
+//     SPEC CPU2000-like synthetic workloads (SimulateBenchmark) that
+//     generate realistic masking traces.
+//
+// # Quick start
+//
+//	tr, _ := soferr.BusyIdleTrace(24*time.Hour.Seconds(), 12*time.Hour.Seconds())
+//	avfEstimate, _ := soferr.AVFMTTF(10 /* errors/year */, tr)
+//	truth, _ := soferr.SoftArchMTTF([]soferr.Component{{
+//		Name: "cache", RatePerYear: 10, Trace: tr,
+//	}})
+//	fmt.Printf("AVF says %.0fs, first principles say %.0fs\n", avfEstimate, truth)
+//
+// See examples/ for runnable programs and DESIGN.md / EXPERIMENTS.md for
+// the mapping from the paper's tables and figures to this code.
+package soferr

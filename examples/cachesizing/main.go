@@ -1,0 +1,82 @@
+// Cache sizing under a reliability budget: how large can an
+// unprotected cache grow before the AVF shortcut misleads the MTTF
+// sign-off by more than a given margin?
+//
+// Uses the paper's Figure 3 closed form: a cache running an L-day loop,
+// busy for L/2, at per-bit rates for ground, avionics, and space
+// environments. For each environment the program sweeps cache sizes and
+// reports the first size where the AVF estimate deviates from the exact
+// MTTF by more than 5%.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/soferr/soferr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		day       = 86400.0
+		loopDays  = 8.0
+		l         = loopDays * day
+		a         = l / 2
+		baseline  = 1e-8 // errors/year/bit (0.001 FIT)
+		threshold = 0.05
+	)
+	fmt.Printf("workload: %.0f-day loop, busy half the time; AVF error threshold %.0f%%\n\n",
+		loopDays, threshold*100)
+
+	sizesMB := []float64{1, 4, 16, 64, 256, 1024, 4096}
+	for _, env := range []struct {
+		name  string
+		scale float64
+	}{
+		{"ground (1x)", 1},
+		{"avionics (100x)", 100},
+		{"space (2000x)", 2000},
+	} {
+		fmt.Printf("%s:\n", env.name)
+		fmt.Printf("  %10s %14s %14s %9s\n", "cache", "AVF MTTF", "true MTTF", "err")
+		limit := ""
+		for _, mb := range sizesMB {
+			bits := mb * 8 * 1024 * 1024
+			rate := bits * env.scale * baseline // errors/year
+			avfMTTF, err := soferr.AVFMTTF(rate, mustTrace(l, a))
+			if err != nil {
+				return err
+			}
+			truth, err := soferr.BusyIdleMTTF(rate, l, a)
+			if err != nil {
+				return err
+			}
+			relErr := (avfMTTF - truth) / truth
+			fmt.Printf("  %8.0fMB %12.4g s %12.4g s %+8.2f%%\n", mb, avfMTTF, truth, 100*relErr)
+			if limit == "" && relErr > threshold {
+				limit = fmt.Sprintf("%.0fMB", mb)
+			}
+		}
+		if limit == "" {
+			fmt.Printf("  -> AVF stays within %.0f%% at every size tested\n\n", threshold*100)
+		} else {
+			fmt.Printf("  -> AVF exceeds %.0f%% error at %s: use first-principles MTTF above that\n\n",
+				threshold*100, limit)
+		}
+	}
+	return nil
+}
+
+func mustTrace(l, a float64) soferr.Trace {
+	tr, err := soferr.BusyIdleTrace(l, a)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}

@@ -1,0 +1,69 @@
+// Pipeline reliability sign-off: run SPEC-like benchmarks through the
+// cycle-level POWER4-like simulator, extract per-component masking
+// traces, and project the processor's soft-error MTTF with AVF+SOFR —
+// validating the projection against Monte Carlo, as in Section 5.1 of
+// the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/soferr/soferr"
+)
+
+// Section 4.1 raw error rates, errors/year.
+const (
+	intRate    = 2.3e-6
+	fpRate     = 4.5e-6
+	decodeRate = 3.3e-6
+	regRate    = 1.0e-4
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, bench := range []string{"gzip", "swim", "mcf"} {
+		res, err := soferr.SimulateBenchmark(bench, 200000, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d instructions in %d cycles (IPC %.2f, mispredict %.1f%%)\n",
+			res.Name, res.Instructions, res.Cycles, res.IPC(), 100*res.BranchMispredictRate)
+
+		comps := []soferr.Component{
+			{Name: "integer", RatePerYear: intRate, Trace: res.Int},
+			{Name: "fp", RatePerYear: fpRate, Trace: res.FP},
+			{Name: "decode", RatePerYear: decodeRate, Trace: res.Decode},
+			{Name: "regfile", RatePerYear: regRate, Trace: res.RegFile},
+		}
+
+		var mttfs []float64
+		for _, c := range comps {
+			a := soferr.AVF(c.Trace)
+			mttf, err := soferr.AVFMTTF(c.RatePerYear, c.Trace)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-8s AVF=%.3f  MTTF=%.3g years\n", c.Name, a, mttf/3.156e7)
+			mttfs = append(mttfs, mttf)
+		}
+		sofrMTTF, err := soferr.SOFRMTTF(mttfs)
+		if err != nil {
+			return err
+		}
+		mc, err := soferr.MonteCarloMTTF(comps, soferr.MonteCarloOptions{Trials: 100000, Seed: 7})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  processor: AVF+SOFR=%.4g years, Monte Carlo=%.4g years (err %+.2f%%)\n\n",
+			sofrMTTF/3.156e7, mc.MTTF/3.156e7, 100*(sofrMTTF-mc.MTTF)/mc.MTTF)
+	}
+	fmt.Println("At terrestrial rates and SPEC-scale loops, AVF+SOFR matches first principles —")
+	fmt.Println("exactly the regime the paper validates in Section 5.1.")
+	return nil
+}

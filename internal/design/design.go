@@ -1,0 +1,82 @@
+// Package design encodes the paper's experimental parameter space: the
+// per-component raw soft error rates of Section 4.1 and the broad
+// design-space grid of Table 2 (component element count N, environment
+// scaling factor S, system component count C, and workload).
+package design
+
+import (
+	"fmt"
+
+	"github.com/soferr/soferr/internal/units"
+)
+
+// Section 4.1 raw error rates, in errors/year, for the four studied
+// processor components (derived by Li et al. [6] from published device
+// error rates and device counts; 1e-8 errors/year = 0.001 FIT).
+const (
+	IntUnitRatePerYear    = 2.3e-6
+	FPUnitRatePerYear     = 4.5e-6
+	DecodeUnitRatePerYear = 3.3e-6
+	RegFileRatePerYear    = 1.0e-4
+)
+
+// Table 2 grid dimensions.
+var (
+	// ElementCounts is the number of elements (bits) N in a component.
+	ElementCounts = []float64{1e5, 1e6, 1e7, 1e8, 1e9}
+	// ScaleFactors is the environment scaling factor S applied to the
+	// baseline per-element rate (1 = terrestrial today; thousands =
+	// high altitude, space, or accelerated test).
+	ScaleFactors = []float64{1, 5, 100, 2000, 5000}
+	// ComponentCounts is the number of components C in the system
+	// (processors in a cluster).
+	ComponentCounts = []int{2, 8, 5000, 50000, 500000}
+)
+
+// Workload identifies a workload family of Table 2.
+type Workload int
+
+// Table 2 workloads.
+const (
+	WorkloadSPECInt Workload = iota + 1
+	WorkloadSPECFP
+	WorkloadDay
+	WorkloadWeek
+	WorkloadCombined
+)
+
+var workloadNames = map[Workload]string{
+	WorkloadSPECInt:  "SPEC int",
+	WorkloadSPECFP:   "SPEC fp",
+	WorkloadDay:      "day",
+	WorkloadWeek:     "week",
+	WorkloadCombined: "combined",
+}
+
+// String names the workload as in Table 2.
+func (w Workload) String() string {
+	if s, ok := workloadNames[w]; ok {
+		return s
+	}
+	return fmt.Sprintf("Workload(%d)", int(w))
+}
+
+// Workloads lists the Table 2 workload families.
+func Workloads() []Workload {
+	return []Workload{WorkloadSPECFP, WorkloadSPECInt, WorkloadDay, WorkloadWeek, WorkloadCombined}
+}
+
+// RatePerSecond returns the component raw error rate, in errors/second,
+// for N elements at scaling factor S (Table 2: N x S x baseline).
+func RatePerSecond(n, s float64) float64 {
+	return units.ComponentRatePerSecond(n, s)
+}
+
+// UnitRatesPerSecond returns the Section 4.1 rates for the int, fp, and
+// decode units in errors/second, the three units the paper applies
+// simultaneously for processor-level failure in cluster experiments.
+func UnitRatesPerSecond() (intU, fpU, decode float64) {
+	return units.PerYearToPerSecond(IntUnitRatePerYear),
+		units.PerYearToPerSecond(FPUnitRatePerYear),
+		units.PerYearToPerSecond(DecodeUnitRatePerYear)
+}

@@ -1,0 +1,59 @@
+package design
+
+import (
+	"math"
+	"testing"
+
+	"github.com/soferr/soferr/internal/units"
+)
+
+func TestTable2Dimensions(t *testing.T) {
+	if len(ElementCounts) != 5 || ElementCounts[0] != 1e5 || ElementCounts[4] != 1e9 {
+		t.Errorf("ElementCounts = %v, want Table 2's 1e5..1e9", ElementCounts)
+	}
+	if len(ScaleFactors) != 5 || ScaleFactors[0] != 1 || ScaleFactors[4] != 5000 {
+		t.Errorf("ScaleFactors = %v", ScaleFactors)
+	}
+	if len(ComponentCounts) != 5 || ComponentCounts[0] != 2 || ComponentCounts[4] != 500000 {
+		t.Errorf("ComponentCounts = %v", ComponentCounts)
+	}
+	if len(Workloads()) != 5 {
+		t.Errorf("Workloads = %v, want 5 families", Workloads())
+	}
+}
+
+func TestSection41Rates(t *testing.T) {
+	// The paper's component rates, errors/year.
+	if IntUnitRatePerYear != 2.3e-6 || FPUnitRatePerYear != 4.5e-6 ||
+		DecodeUnitRatePerYear != 3.3e-6 || RegFileRatePerYear != 1.0e-4 {
+		t.Error("Section 4.1 rates drifted from the paper")
+	}
+}
+
+func TestRatePerSecond(t *testing.T) {
+	// N=1e9, S=1 => 10 errors/year.
+	got := units.PerSecondToPerYear(RatePerSecond(1e9, 1))
+	if math.Abs(got-10)/10 > 1e-12 {
+		t.Errorf("rate = %v errors/year, want 10", got)
+	}
+}
+
+func TestUnitRatesPerSecond(t *testing.T) {
+	i, f, d := UnitRatesPerSecond()
+	if i <= 0 || f <= 0 || d <= 0 {
+		t.Error("unit rates must be positive")
+	}
+	if f <= i {
+		t.Error("FP unit rate should exceed integer unit rate (4.5e-6 > 2.3e-6)")
+	}
+	_ = d
+}
+
+func TestWorkloadString(t *testing.T) {
+	if WorkloadDay.String() != "day" || WorkloadSPECFP.String() != "SPEC fp" {
+		t.Error("workload names wrong")
+	}
+	if Workload(42).String() == "" {
+		t.Error("unknown workload should render")
+	}
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/soferr/soferr/internal/design"
+	"github.com/soferr/soferr/internal/montecarlo"
+	"github.com/soferr/soferr/internal/sofr"
+	"github.com/soferr/soferr/internal/softarch"
+	"github.com/soferr/soferr/internal/trace"
+	"github.com/soferr/soferr/internal/units"
+)
+
+// mcMTTF runs the Monte-Carlo engine for a single (possibly
+// superposed) component.
+func (r *Runner) mcMTTF(rate float64, tr trace.Trace, seedSalt uint64) (montecarlo.Result, error) {
+	return montecarlo.ComponentMTTF(
+		montecarlo.Component{Rate: rate, Trace: tr},
+		montecarlo.Config{Trials: r.opt.Trials, Seed: r.opt.Seed ^ seedSalt},
+	)
+}
+
+// Fig5 reproduces Figure 5: the error of the AVF step relative to Monte
+// Carlo for the synthesized workloads (day, week, combined) at
+// representative values of N x S, for a single component (C = 1).
+func (r *Runner) Fig5() (*Table, error) {
+	t := &Table{
+		ID:    "fig5",
+		Title: "AVF-step error vs Monte Carlo, synthesized workloads, C=1 (Figure 5)",
+		Header: []string{
+			"workload", "NxS", "rate/yr", "AVF",
+			"MC MTTF", "AVF MTTF", "rel err", "exact err",
+		},
+	}
+	grid := []float64{1e8, 1e9, 1e10, 1e11, 1e12}
+	if r.opt.Quick {
+		grid = []float64{1e9, 1e11}
+	}
+	workloads := []design.Workload{design.WorkloadDay, design.WorkloadWeek, design.WorkloadCombined}
+	for _, w := range workloads {
+		tr, err := r.workloadTrace(w)
+		if err != nil {
+			return nil, err
+		}
+		avfVal := tr.AVF()
+		for _, ns := range grid {
+			rate := design.RatePerSecond(ns, 1)
+			r.logf("fig5: %v NxS=%g", w, ns)
+			mc, err := r.mcMTTF(rate, tr, uint64(ns))
+			if err != nil {
+				return nil, err
+			}
+			avfMTTF := 1 / (rate * avfVal)
+			exact, err := softarch.ComponentMTTF(rate, tr)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(
+				w.String(), fmtSci(ns), fmtSci(units.PerSecondToPerYear(rate)),
+				fmt.Sprintf("%.3f", avfVal),
+				fmtSeconds(mc.MTTF), fmtSeconds(avfMTTF),
+				fmtPct((avfMTTF-mc.MTTF)/mc.MTTF),
+				fmtPct((avfMTTF-exact)/exact),
+			)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: SPEC workloads show <0.5% error everywhere; synthesized workloads show significant error once NxS is large (paper: >=1e9), up to ~90%",
+		"the error saturates at (1/AVF - 1): +100% for day, +40% for week",
+		"'exact err' replaces the MC reference with the closed-form survival integral (no sampling noise)")
+	return t, nil
+}
+
+// sofrPoint evaluates one SOFR design point: C identical components
+// with the given per-component rate and trace. It returns the SOFR
+// estimate (from the Monte-Carlo component MTTF, as in Section 4.2) and
+// the Monte-Carlo system MTTF computed by superposition.
+func (r *Runner) sofrPoint(rate float64, tr trace.Trace, c int, salt uint64) (sofrMTTF, mcSystem float64, err error) {
+	comp, err := r.mcMTTF(rate, tr, salt)
+	if err != nil {
+		return 0, 0, err
+	}
+	sofrMTTF, err = sofr.Identical(comp.MTTF, c)
+	if err != nil {
+		return 0, 0, err
+	}
+	sys, err := r.mcMTTF(rate*float64(c), tr, salt^0xC0FFEE)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sofrMTTF, sys.MTTF, nil
+}
+
+// Fig6a reproduces Figure 6(a): SOFR error vs Monte Carlo for clusters
+// of C processors running SPEC benchmarks, at representative N x S.
+func (r *Runner) Fig6a() (*Table, error) {
+	t := &Table{
+		ID:    "fig6a",
+		Title: "SOFR-step error vs Monte Carlo, SPEC workloads (Figure 6a)",
+		Header: []string{
+			"benchmark", "NxS", "C", "SOFR MTTF", "MC MTTF", "rel err",
+		},
+	}
+	benchmarks := []string{"gzip", "swim", "mcf"}
+	nsGrid := []float64{1e9, 2e12, 1e14, 1e15}
+	cGrid := design.ComponentCounts
+	if r.opt.Quick {
+		benchmarks = []string{"gzip"}
+		nsGrid = []float64{1e9, 1e15}
+		cGrid = []int{8, 500000}
+	}
+	for _, b := range benchmarks {
+		proc, err := r.procTrace(b)
+		if err != nil {
+			return nil, err
+		}
+		for _, ns := range nsGrid {
+			rate := design.RatePerSecond(ns, 1)
+			for _, c := range cGrid {
+				r.logf("fig6a: %s NxS=%g C=%d", b, ns, c)
+				sofrMTTF, mcSys, err := r.sofrPoint(rate, proc, c, uint64(ns)+uint64(c))
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(
+					b, fmtSci(ns), fmt.Sprintf("%d", c),
+					fmtSeconds(sofrMTTF), fmtSeconds(mcSys),
+					fmtPct((sofrMTTF-mcSys)/mcSys),
+				)
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: accurate for C=2 or 8 at all NxS; significant error only for C>=5000 with very large NxS (>=2e12 at 1e9 bits)",
+		"our benchmark loop is ~1e5x shorter than the paper's 100M-instruction traces, so error onset shifts to proportionally larger NxS x C; the shape (error grows with C and NxS, negligible at small C) is preserved")
+	return t, nil
+}
+
+// Fig6b reproduces Figure 6(b): SOFR error vs Monte Carlo for clusters
+// running the synthesized workloads.
+func (r *Runner) Fig6b() (*Table, error) {
+	t := &Table{
+		ID:    "fig6b",
+		Title: "SOFR-step error vs Monte Carlo, synthesized workloads (Figure 6b)",
+		Header: []string{
+			"workload", "NxS", "C", "SOFR MTTF", "MC MTTF", "rel err",
+		},
+	}
+	nsGrid := []float64{1e5, 1e6, 1e7, 1e8}
+	cGrid := design.ComponentCounts
+	workloads := []design.Workload{design.WorkloadDay, design.WorkloadWeek, design.WorkloadCombined}
+	if r.opt.Quick {
+		nsGrid = []float64{1e6, 1e8}
+		cGrid = []int{8, 50000}
+		workloads = []design.Workload{design.WorkloadDay, design.WorkloadWeek}
+	}
+	for _, w := range workloads {
+		tr, err := r.workloadTrace(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, ns := range nsGrid {
+			rate := design.RatePerSecond(ns, 1)
+			for _, c := range cGrid {
+				r.logf("fig6b: %v NxS=%g C=%d", w, ns, c)
+				sofrMTTF, mcSys, err := r.sofrPoint(rate, tr, c, uint64(ns)+uint64(c)*3)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(
+					w.String(), fmtSci(ns), fmt.Sprintf("%d", c),
+					fmtSeconds(sofrMTTF), fmtSeconds(mcSys),
+					fmtPct((sofrMTTF-mcSys)/mcSys),
+				)
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: day at NxS=1e8 shows 11% (C=5000) and 50% (C=50000); week shows 32%/80%; combined smaller but significant",
+		"first-principles saturation is +100% (day), +40% (week): error rises along a sigmoid in C x NxS and our grid includes both the onset and the saturated regime",
+		"week reaches large errors at ~10x smaller C x NxS than day (its busy window is 10x longer), matching the paper's week > day ordering at fixed parameters")
+	return t, nil
+}
+
+// Sec54 reproduces Section 5.4: SoftArch (first-principles survival
+// model) vs Monte Carlo across the design space. The paper reports <1%
+// discrepancy for single components and <2% for full systems.
+func (r *Runner) Sec54() (*Table, error) {
+	t := &Table{
+		ID:     "sec54",
+		Title:  "SoftArch vs Monte Carlo across the design space (Section 5.4)",
+		Header: []string{"point", "SoftArch MTTF", "MC MTTF", "rel err", "MC rel stderr"},
+	}
+	type point struct {
+		name string
+		w    design.Workload
+		ns   float64
+		c    int
+	}
+	points := []point{
+		{"day C=1 NxS=1e7", design.WorkloadDay, 1e7, 1},
+		{"day C=1 NxS=1e11", design.WorkloadDay, 1e11, 1},
+		{"week C=1 NxS=1e9", design.WorkloadWeek, 1e9, 1},
+		{"combined C=1 NxS=1e9", design.WorkloadCombined, 1e9, 1},
+		{"SPEC int C=1 NxS=1e14", design.WorkloadSPECInt, 1e14, 1},
+		{"SPEC fp C=1 NxS=1e14", design.WorkloadSPECFP, 1e14, 1},
+		{"day C=5000 NxS=1e8", design.WorkloadDay, 1e8, 5000},
+		{"week C=50000 NxS=1e8", design.WorkloadWeek, 1e8, 50000},
+		{"SPEC int C=500000 NxS=2e12", design.WorkloadSPECInt, 2e12, 500000},
+	}
+	if r.opt.Quick {
+		points = points[:4]
+	}
+	worstSingle, worstSystem := 0.0, 0.0
+	for _, p := range points {
+		tr, err := r.workloadTrace(p.w)
+		if err != nil {
+			return nil, err
+		}
+		rate := design.RatePerSecond(p.ns, 1) * float64(p.c)
+		exact, err := softarch.ComponentMTTF(rate, tr)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("sec54: %s", p.name)
+		mc, err := r.mcMTTF(rate, tr, uint64(p.ns)^uint64(p.c))
+		if err != nil {
+			return nil, err
+		}
+		rel := (exact - mc.MTTF) / mc.MTTF
+		if p.c == 1 {
+			worstSingle = math.Max(worstSingle, math.Abs(rel))
+		} else {
+			worstSystem = math.Max(worstSystem, math.Abs(rel))
+		}
+		t.AddRow(p.name, fmtSeconds(exact), fmtSeconds(mc.MTTF), fmtPct(rel),
+			fmt.Sprintf("%.2f%%", 100*mc.RelStdErr()))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("worst single-component |err| = %.2f%% (paper: <1%%), worst system |err| = %.2f%% (paper: <2%%)",
+			100*worstSingle, 100*worstSystem),
+		"discrepancies are Monte-Carlo sampling noise: SoftArch computes the same first-principles quantity in closed form")
+	return t, nil
+}

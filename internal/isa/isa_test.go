@@ -1,0 +1,97 @@
+package isa
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	tests := []struct {
+		c                  Class
+		isInt, isFP, isMem bool
+	}{
+		{IntALU, true, false, false},
+		{IntMul, true, false, false},
+		{IntDiv, true, false, false},
+		{FPOp, false, true, false},
+		{FPDiv, false, true, false},
+		{Load, false, false, true},
+		{Store, false, false, true},
+		{Branch, false, false, false},
+	}
+	for _, tt := range tests {
+		if tt.c.IsInt() != tt.isInt || tt.c.IsFP() != tt.isFP || tt.c.IsMem() != tt.isMem {
+			t.Errorf("%v: predicates (%v,%v,%v), want (%v,%v,%v)",
+				tt.c, tt.c.IsInt(), tt.c.IsFP(), tt.c.IsMem(), tt.isInt, tt.isFP, tt.isMem)
+		}
+		if !tt.c.Valid() {
+			t.Errorf("%v should be valid", tt.c)
+		}
+	}
+	if Class(0).Valid() || Class(200).Valid() {
+		t.Error("invalid classes reported valid")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if IntALU.String() != "IntALU" || Branch.String() != "Branch" {
+		t.Error("class names wrong")
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class should still render")
+	}
+}
+
+func TestRegConstructors(t *testing.T) {
+	r0 := IntReg(0)
+	if !r0.IsInt() || r0.IsFP() {
+		t.Errorf("IntReg(0) predicates wrong")
+	}
+	if r0.Index() != 0 {
+		t.Errorf("IntReg(0).Index = %d", r0.Index())
+	}
+	f0 := FPReg(0)
+	if !f0.IsFP() || f0.IsInt() {
+		t.Errorf("FPReg(0) predicates wrong")
+	}
+	if f0.Index() != NumIntRegs {
+		t.Errorf("FPReg(0).Index = %d, want %d", f0.Index(), NumIntRegs)
+	}
+	last := FPReg(NumFPRegs - 1)
+	if last.Index() != NumRegs-1 {
+		t.Errorf("last FP reg index = %d, want %d", last.Index(), NumRegs-1)
+	}
+}
+
+func TestRegConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { IntReg(-1) },
+		func() { IntReg(NumIntRegs) },
+		func() { FPReg(NumFPRegs) },
+		func() { RegNone.Index() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInstValidate(t *testing.T) {
+	good := Inst{Class: IntALU, Dest: IntReg(1), Src1: IntReg(2)}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid inst rejected: %v", err)
+	}
+	bad := []Inst{
+		{Class: 0},
+		{Class: Store, Dest: IntReg(1)},
+		{Class: Branch, Dest: IntReg(1)},
+		{Class: IntALU, Src1: Reg(200)},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad inst %d accepted", i)
+		}
+	}
+}

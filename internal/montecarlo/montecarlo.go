@@ -1,0 +1,275 @@
+// Package montecarlo estimates MTTF from first principles, exactly as
+// the paper's reference method (Section 4.3): for every trial it draws
+// raw error arrivals from independent exponential inter-arrival times,
+// masks each arrival according to the component's masking trace, and
+// records the time of the first unmasked arrival; the system fails when
+// its earliest component fails. The average over trials is the MTTF, and
+// no AVF or SOFR assumption is involved.
+//
+// Two engines are provided:
+//
+//   - The naive engine simulates every component separately and takes
+//     the minimum, mirroring the paper's description literally.
+//   - The superposition engine exploits the fact that the union of
+//     independent Poisson processes is a Poisson process of the summed
+//     rate, with each arrival belonging to component i with probability
+//     rate_i/total. The first unmasked arrival of the union is exactly
+//     the system failure time, so the cost is independent of the number
+//     of components. This is what makes the paper's 500,000-processor
+//     clusters (Table 2) simulable; the two engines are property-tested
+//     against each other.
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/soferr/soferr/internal/numeric"
+	"github.com/soferr/soferr/internal/trace"
+	"github.com/soferr/soferr/internal/xrand"
+)
+
+// Component is one failure source: a raw-error Poisson process filtered
+// by a masking trace.
+type Component struct {
+	// Name labels the component in errors and reports.
+	Name string
+	// Rate is the raw soft error rate in errors/second.
+	Rate float64
+	// Trace is the component's masking trace.
+	Trace trace.Trace
+}
+
+// Engine selects the trial implementation.
+type Engine int
+
+const (
+	// Superposed simulates the union Poisson process (default; exact
+	// and O(1) in the number of components).
+	Superposed Engine = iota + 1
+	// Naive simulates each component separately and takes the minimum.
+	Naive
+)
+
+// Config controls a Monte-Carlo run. The zero value is usable: it means
+// DefaultTrials trials, seed 0, all engines defaulted.
+type Config struct {
+	// Trials is the number of independent trials (default DefaultTrials).
+	Trials int
+	// Seed selects the deterministic random stream. Runs with equal
+	// seeds, trials, and engine produce identical results regardless of
+	// worker count.
+	Seed uint64
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+	// Engine selects the trial implementation (default Superposed).
+	Engine Engine
+	// MaxArrivalsPerTrial aborts pathological trials (vanishing AVF with
+	// a non-zero rate). Default 100 million.
+	MaxArrivalsPerTrial int
+}
+
+// DefaultTrials matches the precision regime of the paper's 1,000,000
+// trials closely enough for <1% standard error on every experiment while
+// keeping the full design-space sweep laptop-sized.
+const DefaultTrials = 200000
+
+// Result is a Monte-Carlo MTTF estimate.
+type Result struct {
+	// MTTF is the mean observed time to failure in seconds.
+	MTTF float64
+	// StdErr is the standard error of the mean.
+	StdErr float64
+	// Trials is the number of trials used.
+	Trials int
+}
+
+// RelStdErr returns StdErr/MTTF (NaN for a zero-MTTF result).
+func (r Result) RelStdErr() float64 { return r.StdErr / r.MTTF }
+
+// ErrNoFailurePossible is returned when every component has AVF = 0 or
+// rate = 0, so the system can never fail.
+var ErrNoFailurePossible = errors.New("montecarlo: no component can ever fail (zero rate or zero AVF)")
+
+// SystemMTTF estimates the MTTF of a series system of components.
+func SystemMTTF(components []Component, cfg Config) (Result, error) {
+	res, _, err := systemMTTFImpl(components, cfg)
+	return res, err
+}
+
+// systemMTTFImpl runs the engine and returns both the summary and the
+// raw per-trial failure times (in trial order).
+func systemMTTFImpl(components []Component, cfg Config) (Result, []float64, error) {
+	if len(components) == 0 {
+		return Result{}, nil, errors.New("montecarlo: no components")
+	}
+	total := 0.0
+	anyVulnerable := false
+	for i, c := range components {
+		if c.Rate < 0 || math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0) {
+			return Result{}, nil, fmt.Errorf("montecarlo: component %d (%s) has invalid rate %v", i, c.Name, c.Rate)
+		}
+		if c.Trace == nil {
+			return Result{}, nil, fmt.Errorf("montecarlo: component %d (%s) has nil trace", i, c.Name)
+		}
+		total += c.Rate
+		if c.Rate > 0 && c.Trace.AVF() > 0 {
+			anyVulnerable = true
+		}
+	}
+	if !anyVulnerable {
+		return Result{}, nil, ErrNoFailurePossible
+	}
+
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = DefaultTrials
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	engine := cfg.Engine
+	if engine == 0 {
+		engine = Superposed
+	}
+	maxArrivals := cfg.MaxArrivalsPerTrial
+	if maxArrivals <= 0 {
+		maxArrivals = 100_000_000
+	}
+
+	samples := make([]float64, trials)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		trialErr error
+	)
+	chunk := (trials + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > trials {
+			hi = trials
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				r := trialStream(cfg.Seed, uint64(i))
+				var (
+					v   float64
+					err error
+				)
+				switch engine {
+				case Naive:
+					v, err = trialNaive(components, r, maxArrivals)
+				default:
+					v, err = trialSuperposed(components, total, r, maxArrivals)
+				}
+				if err != nil {
+					mu.Lock()
+					if trialErr == nil {
+						trialErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				samples[i] = v
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if trialErr != nil {
+		return Result{}, nil, trialErr
+	}
+
+	mean, se := numeric.MeanStdErr(samples)
+	return Result{MTTF: mean, StdErr: se, Trials: trials}, samples, nil
+}
+
+// ComponentMTTF estimates the MTTF of a single component.
+func ComponentMTTF(c Component, cfg Config) (Result, error) {
+	return SystemMTTF([]Component{c}, cfg)
+}
+
+// trialStream derives the deterministic stream for one trial. Using a
+// per-trial stream makes the estimate independent of scheduling and
+// worker count.
+func trialStream(seed, trial uint64) *xrand.Rand {
+	return xrand.New(seed*0x9e3779b97f4a7c15 + trial + 1)
+}
+
+// trialSuperposed simulates the union process: arrivals at the summed
+// rate, each attributed to a component proportionally to its rate and
+// masked by that component's trace.
+func trialSuperposed(components []Component, total float64, r *xrand.Rand, maxArrivals int) (float64, error) {
+	t := 0.0
+	for n := 0; n < maxArrivals; n++ {
+		t += r.Exp(total)
+		c := pick(components, total, r)
+		if r.Bool(c.Trace.VulnAt(t)) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("montecarlo: trial exceeded %d arrivals without failure", maxArrivals)
+}
+
+// pick selects a component with probability proportional to its rate.
+func pick(components []Component, total float64, r *xrand.Rand) *Component {
+	if len(components) == 1 {
+		return &components[0]
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i := range components {
+		acc += components[i].Rate
+		if u < acc {
+			return &components[i]
+		}
+	}
+	return &components[len(components)-1]
+}
+
+// trialNaive simulates each component to failure independently and
+// returns the earliest failure time.
+func trialNaive(components []Component, r *xrand.Rand, maxArrivals int) (float64, error) {
+	best := math.Inf(1)
+	for i := range components {
+		c := &components[i]
+		if c.Rate == 0 || c.Trace.AVF() == 0 {
+			continue
+		}
+		t := 0.0
+		failed := false
+		for n := 0; n < maxArrivals; n++ {
+			t += r.Exp(c.Rate)
+			if t >= best {
+				// Cannot beat the current minimum; later arrivals only
+				// grow t, so this component is irrelevant to the trial.
+				failed = true
+				break
+			}
+			if r.Bool(c.Trace.VulnAt(t)) {
+				best = t
+				failed = true
+				break
+			}
+		}
+		if !failed {
+			return 0, fmt.Errorf("montecarlo: component %s exceeded %d arrivals", c.Name, maxArrivals)
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, errors.New("montecarlo: no component failed")
+	}
+	return best, nil
+}

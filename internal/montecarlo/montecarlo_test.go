@@ -1,0 +1,247 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"github.com/soferr/soferr/internal/analytic"
+	"github.com/soferr/soferr/internal/numeric"
+	"github.com/soferr/soferr/internal/trace"
+)
+
+func busyIdle(t *testing.T, period, busy float64) *trace.Piecewise {
+	t.Helper()
+	p, err := trace.BusyIdle(period, busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAlwaysVulnerableIsExponential(t *testing.T) {
+	// With AVF = 1 the first raw error is the failure: MTTF = 1/rate.
+	tr, err := trace.Always(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rate = 0.25
+	res, err := ComponentMTTF(Component{Name: "c", Rate: rate, Trace: tr}, Config{Trials: 100000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.RelErr(res.MTTF, 1/rate) > 0.01 {
+		t.Errorf("MTTF = %v, want %v (relerr %v)", res.MTTF, 1/rate, numeric.RelErr(res.MTTF, 1/rate))
+	}
+}
+
+func TestAgainstClosedForm(t *testing.T) {
+	// The validation spine: Monte-Carlo must reproduce Derivation 1's
+	// closed form across regimes of rate*L.
+	cases := []struct {
+		name               string
+		rate, period, busy float64
+	}{
+		{"small rateL", 1e-3, 10, 5},
+		{"moderate rateL", 0.05, 10, 5},
+		{"large rateL", 0.5, 10, 2},
+		{"asymmetric", 0.2, 100, 10},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := busyIdle(t, tt.period, tt.busy)
+			want, err := analytic.BusyIdleMTTF(tt.rate, tt.period, tt.busy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ComponentMTTF(Component{Rate: tt.rate, Trace: tr}, Config{Trials: 150000, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if numeric.RelErr(res.MTTF, want) > 0.015 {
+				t.Errorf("MC = %v, closed form = %v (relerr %v, stderr %v)",
+					res.MTTF, want, numeric.RelErr(res.MTTF, want), res.RelStdErr())
+			}
+		})
+	}
+}
+
+func TestNaiveMatchesSuperposed(t *testing.T) {
+	a := busyIdle(t, 10, 5)
+	b := busyIdle(t, 10, 3)
+	comps := []Component{
+		{Name: "a", Rate: 0.1, Trace: a},
+		{Name: "b", Rate: 0.05, Trace: b},
+	}
+	sup, err := SystemMTTF(comps, Config{Trials: 120000, Seed: 3, Engine: Superposed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nai, err := SystemMTTF(comps, Config{Trials: 120000, Seed: 4, Engine: Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.RelErr(sup.MTTF, nai.MTTF) > 0.02 {
+		t.Errorf("superposed %v vs naive %v (relerr %v)", sup.MTTF, nai.MTTF, numeric.RelErr(sup.MTTF, nai.MTTF))
+	}
+}
+
+func TestSuperpositionManyIdenticalComponents(t *testing.T) {
+	// C identical components must equal one component at C times the
+	// rate (superposition theorem) — and the Monte-Carlo result must
+	// agree between the two formulations.
+	tr := busyIdle(t, 10, 5)
+	const rate = 0.02
+	const c = 64
+	comps := make([]Component, c)
+	for i := range comps {
+		comps[i] = Component{Rate: rate, Trace: tr}
+	}
+	multi, err := SystemMTTF(comps, Config{Trials: 100000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := ComponentMTTF(Component{Rate: rate * c, Trace: tr}, Config{Trials: 100000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.RelErr(multi.MTTF, single.MTTF) > 0.02 {
+		t.Errorf("C-component system %v vs scaled single %v", multi.MTTF, single.MTTF)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr := busyIdle(t, 10, 4)
+	cfg := Config{Trials: 20000, Seed: 42}
+	a, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MTTF != b.MTTF || a.StdErr != b.StdErr {
+		t.Errorf("same seed differs: %v vs %v", a, b)
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	tr := busyIdle(t, 10, 4)
+	one, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, Config{Trials: 20000, Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, Config{Trials: 20000, Seed: 42, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.MTTF != four.MTTF {
+		t.Errorf("worker count changed result: %v vs %v", one.MTTF, four.MTTF)
+	}
+}
+
+func TestSeedMatters(t *testing.T) {
+	tr := busyIdle(t, 10, 4)
+	a, _ := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, Config{Trials: 5000, Seed: 1})
+	b, _ := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, Config{Trials: 5000, Seed: 2})
+	if a.MTTF == b.MTTF {
+		t.Error("different seeds produced identical estimates")
+	}
+}
+
+func TestFractionalVulnerability(t *testing.T) {
+	// A constant 0.5 vulnerability halves the effective rate:
+	// MTTF = 1/(rate*0.5).
+	p, err := trace.NewPiecewise([]trace.Segment{{Start: 0, End: 10, Vuln: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rate = 0.2
+	res, err := ComponentMTTF(Component{Rate: rate, Trace: p}, Config{Trials: 100000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.RelErr(res.MTTF, 1/(rate*0.5)) > 0.015 {
+		t.Errorf("MTTF = %v, want %v", res.MTTF, 1/(rate*0.5))
+	}
+}
+
+func TestErrNoFailurePossible(t *testing.T) {
+	never, err := trace.Never(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComponentMTTF(Component{Rate: 1, Trace: never}, Config{Trials: 10}); err != ErrNoFailurePossible {
+		t.Errorf("err = %v, want ErrNoFailurePossible", err)
+	}
+	always, err := trace.Always(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComponentMTTF(Component{Rate: 0, Trace: always}, Config{Trials: 10}); err != ErrNoFailurePossible {
+		t.Errorf("zero rate err = %v, want ErrNoFailurePossible", err)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := SystemMTTF(nil, Config{}); err == nil {
+		t.Error("empty system should fail")
+	}
+	tr := busyIdle(t, 10, 5)
+	if _, err := SystemMTTF([]Component{{Rate: math.NaN(), Trace: tr}}, Config{}); err == nil {
+		t.Error("NaN rate should fail")
+	}
+	if _, err := SystemMTTF([]Component{{Rate: 1, Trace: nil}}, Config{}); err == nil {
+		t.Error("nil trace should fail")
+	}
+}
+
+func TestStdErrShrinksWithTrials(t *testing.T) {
+	tr := busyIdle(t, 10, 5)
+	small, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, Config{Trials: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, Config{Trials: 128000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64x the trials should shrink stderr by ~8x; allow slack.
+	if large.StdErr > small.StdErr/4 {
+		t.Errorf("stderr did not shrink: %v (n=2k) vs %v (n=128k)", small.StdErr, large.StdErr)
+	}
+}
+
+func TestLongLoopTraceWorks(t *testing.T) {
+	// MC over a lazy LongLoop trace must agree with the closed form for
+	// the equivalent busy/idle loop.
+	inner := busyIdle(t, 1e-3, 0.5e-3)
+	reps := trace.RepeatFor(inner, 2.0)
+	ll, err := trace.NewLongLoop(trace.LoopPhase{Inner: inner, Reps: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rate = 0.05
+	res, err := ComponentMTTF(Component{Rate: rate, Trace: ll}, Config{Trials: 60000, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fine-grained 50% duty cycle at tiny rate*L: MTTF ~= 1/(rate*0.5).
+	want := 1 / (rate * 0.5)
+	if numeric.RelErr(res.MTTF, want) > 0.02 {
+		t.Errorf("MTTF = %v, want ~%v", res.MTTF, want)
+	}
+}
+
+func BenchmarkSuperposedTrial(b *testing.B) {
+	tr, err := trace.BusyIdle(10, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comps := []Component{{Rate: 0.1, Trace: tr}}
+	b.ResetTimer()
+	_, err = SystemMTTF(comps, Config{Trials: b.N, Seed: 1})
+	if err != nil && err != ErrNoFailurePossible {
+		b.Fatal(err)
+	}
+}

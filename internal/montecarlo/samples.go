@@ -1,0 +1,105 @@
+package montecarlo
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/soferr/soferr/internal/numeric"
+)
+
+// SystemTTFSamples runs the Monte-Carlo engine and returns the raw
+// time-to-failure samples (sorted ascending) instead of only their
+// mean. Samples expose the shape of the failure distribution, which is
+// what the SOFR step assumes to be exponential — see TTFStats for
+// direct tests of that assumption.
+func SystemTTFSamples(components []Component, cfg Config) ([]float64, error) {
+	_, samples, err := systemMTTFImpl(components, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sort.Float64s(samples)
+	return samples, nil
+}
+
+// TTFStats summarizes a time-to-failure sample for distribution-shape
+// analysis.
+type TTFStats struct {
+	// Mean and StdDev of the sample.
+	Mean   float64
+	StdDev float64
+	// CV is the coefficient of variation, StdDev/Mean. An exponential
+	// distribution has CV = 1; masking-induced clustering pushes it
+	// away from 1.
+	CV float64
+	// Median and P90 are sample quantiles.
+	Median float64
+	P90    float64
+	// KSExponential is the Kolmogorov-Smirnov distance between the
+	// sample and an exponential distribution with the same mean: the
+	// maximum absolute difference between their CDFs. Zero means
+	// exactly exponential; the SOFR step implicitly assumes this is
+	// small.
+	KSExponential float64
+}
+
+// ComputeTTFStats summarizes sorted time-to-failure samples.
+func ComputeTTFStats(sorted []float64) (TTFStats, error) {
+	n := len(sorted)
+	if n < 2 {
+		return TTFStats{}, errors.New("montecarlo: need at least 2 samples")
+	}
+	for i := 1; i < n; i++ {
+		if sorted[i] < sorted[i-1] {
+			return TTFStats{}, errors.New("montecarlo: samples not sorted")
+		}
+	}
+	mean, se := numeric.MeanStdErr(sorted)
+	sd := se * math.Sqrt(float64(n))
+	st := TTFStats{
+		Mean:   mean,
+		StdDev: sd,
+		CV:     sd / mean,
+		Median: quantileSorted(sorted, 0.5),
+		P90:    quantileSorted(sorted, 0.9),
+	}
+	// KS distance against Exp(1/mean): D = max_i |F_emp - F_exp| over
+	// the sample points, evaluating the empirical CDF from both sides.
+	rate := 1 / mean
+	maxD := 0.0
+	for i, x := range sorted {
+		fExp := numeric.OneMinusExpNeg(rate * x)
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if d := math.Abs(fExp - lo); d > maxD {
+			maxD = d
+		}
+		if d := math.Abs(fExp - hi); d > maxD {
+			maxD = d
+		}
+	}
+	st.KSExponential = maxD
+	return st, nil
+}
+
+// quantileSorted returns the q-quantile of a sorted sample by linear
+// interpolation.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}

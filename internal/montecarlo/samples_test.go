@@ -1,0 +1,128 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"github.com/soferr/soferr/internal/numeric"
+	"github.com/soferr/soferr/internal/trace"
+)
+
+func TestSamplesSortedAndMeanMatches(t *testing.T) {
+	tr := busyIdle(t, 10, 5)
+	cfg := Config{Trials: 50000, Seed: 3}
+	res, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := SystemTTFSamples([]Component{{Rate: 0.1, Trace: tr}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != cfg.Trials {
+		t.Fatalf("got %d samples, want %d", len(samples), cfg.Trials)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i] < samples[i-1] {
+			t.Fatal("samples not sorted")
+		}
+	}
+	if numeric.RelErr(numeric.Mean(samples), res.MTTF) > 1e-12 {
+		t.Errorf("sample mean %v != result MTTF %v", numeric.Mean(samples), res.MTTF)
+	}
+}
+
+func TestTTFStatsExponentialHasUnitCV(t *testing.T) {
+	// With AVF = 1 the TTF is exactly exponential: CV ~ 1, KS ~ 0.
+	tr, err := trace.Always(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := SystemTTFSamples([]Component{{Rate: 0.5, Trace: tr}}, Config{Trials: 100000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeTTFStats(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.CV-1) > 0.02 {
+		t.Errorf("CV = %v, want ~1 for exponential", st.CV)
+	}
+	if st.KSExponential > 0.01 {
+		t.Errorf("KS distance = %v, want ~0 for exponential", st.KSExponential)
+	}
+	// Exponential median = mean * ln 2.
+	if numeric.RelErr(st.Median, st.Mean*math.Ln2) > 0.03 {
+		t.Errorf("median = %v, want %v", st.Median, st.Mean*math.Ln2)
+	}
+}
+
+func TestTTFStatsMaskedIsNotExponential(t *testing.T) {
+	// Non-exponentiality peaks at intermediate rate*busy: a sizable
+	// fraction of trials survives the first busy window, so the TTF
+	// density has holes during idle periods that no exponential can
+	// match — the distributional fact behind the paper's SOFR critique
+	// (Section 3.2). (At very large rate*busy almost all failures land
+	// in the first busy window and the TTF is again nearly exponential.)
+	tr := busyIdle(t, 10, 5)
+	samples, err := SystemTTFSamples([]Component{{Rate: 0.2, Trace: tr}}, Config{Trials: 100000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeTTFStats(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KSExponential < 0.04 {
+		t.Errorf("KS distance = %v; masked TTF at rate*busy~1 should be visibly non-exponential", st.KSExponential)
+	}
+}
+
+func TestTTFStatsLowRateIsNearlyExponential(t *testing.T) {
+	// Section 3.2.1: as rate*L -> 0 the masked TTF tends to exponential
+	// with rate lambda*AVF.
+	tr := busyIdle(t, 10, 5)
+	samples, err := SystemTTFSamples([]Component{{Rate: 1e-3, Trace: tr}}, Config{Trials: 100000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeTTFStats(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KSExponential > 0.01 {
+		t.Errorf("KS = %v, want ~0 at tiny rate*L", st.KSExponential)
+	}
+	if math.Abs(st.CV-1) > 0.02 {
+		t.Errorf("CV = %v, want ~1 at tiny rate*L", st.CV)
+	}
+}
+
+func TestComputeTTFStatsValidation(t *testing.T) {
+	if _, err := ComputeTTFStats(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := ComputeTTFStats([]float64{2, 1}); err == nil {
+		t.Error("unsorted sample accepted")
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := quantileSorted(xs, 0.5); q != 3 {
+		t.Errorf("median = %v, want 3", q)
+	}
+	if q := quantileSorted(xs, 0); q != 1 {
+		t.Errorf("min = %v", q)
+	}
+	if q := quantileSorted(xs, 1); q != 5 {
+		t.Errorf("max = %v", q)
+	}
+	if q := quantileSorted(xs, 0.25); q != 2 {
+		t.Errorf("q25 = %v, want 2", q)
+	}
+	if !math.IsNaN(quantileSorted(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}

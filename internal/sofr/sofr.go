@@ -1,0 +1,71 @@
+// Package sofr implements the SOFR step of the AVF+SOFR methodology
+// (Section 2.3): the failure rate of a series system is the sum of the
+// failure rates of its components, and the system MTTF is the reciprocal
+// of that sum:
+//
+//	FailureRate_sys = sum_i 1/MTTF_i     (Equation 2)
+//	MTTF_sys        = 1/FailureRate_sys  (Equation 3)
+//
+// This is exact only when every component's time to failure is
+// exponentially distributed with a constant rate and failures are
+// independent — the assumption whose limits the paper probes.
+package sofr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SystemRate returns the summed failure rate (Equation 2), in failures
+// per second, from component MTTFs in seconds. Components with infinite
+// MTTF contribute zero.
+func SystemRate(mttfs []float64) (float64, error) {
+	if len(mttfs) == 0 {
+		return 0, errors.New("sofr: no components")
+	}
+	total := 0.0
+	for i, m := range mttfs {
+		if math.IsNaN(m) || m < 0 {
+			return 0, fmt.Errorf("sofr: component %d has invalid MTTF %v", i, m)
+		}
+		if m == 0 {
+			return 0, fmt.Errorf("sofr: component %d has zero MTTF", i)
+		}
+		if math.IsInf(m, 1) {
+			continue
+		}
+		total += 1 / m
+	}
+	return total, nil
+}
+
+// SystemMTTF returns the SOFR system MTTF (Equation 3) in seconds from
+// component MTTFs in seconds. If no component can fail the result is
+// +Inf.
+func SystemMTTF(mttfs []float64) (float64, error) {
+	rate, err := SystemRate(mttfs)
+	if err != nil {
+		return 0, err
+	}
+	if rate == 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / rate, nil
+}
+
+// Identical returns the SOFR system MTTF of n identical components with
+// the given component MTTF: MTTF/n (the common special case of the
+// paper's homogeneous clusters).
+func Identical(componentMTTF float64, n int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("sofr: need n >= 1, got %d", n)
+	}
+	if componentMTTF <= 0 || math.IsNaN(componentMTTF) {
+		return 0, fmt.Errorf("sofr: invalid component MTTF %v", componentMTTF)
+	}
+	if math.IsInf(componentMTTF, 1) {
+		return math.Inf(1), nil
+	}
+	return componentMTTF / float64(n), nil
+}

@@ -1,0 +1,119 @@
+package sofr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSystemRateSums(t *testing.T) {
+	got, err := SystemRate([]float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.75 {
+		t.Errorf("rate = %v, want 0.75", got)
+	}
+}
+
+func TestSystemMTTFReciprocal(t *testing.T) {
+	got, err := SystemMTTF([]float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1/0.75 {
+		t.Errorf("MTTF = %v, want %v", got, 1/0.75)
+	}
+}
+
+func TestInfiniteComponentsIgnored(t *testing.T) {
+	got, err := SystemMTTF([]float64{math.Inf(1), 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("MTTF = %v, want 2", got)
+	}
+}
+
+func TestAllInfinite(t *testing.T) {
+	got, err := SystemMTTF([]float64{math.Inf(1), math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("MTTF = %v, want +Inf", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := SystemMTTF(nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := SystemMTTF([]float64{0}); err == nil {
+		t.Error("zero MTTF should fail")
+	}
+	if _, err := SystemMTTF([]float64{-1}); err == nil {
+		t.Error("negative MTTF should fail")
+	}
+	if _, err := SystemMTTF([]float64{math.NaN()}); err == nil {
+		t.Error("NaN should fail")
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	got, err := Identical(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 25 {
+		t.Errorf("Identical = %v, want 25", got)
+	}
+	inf, err := Identical(math.Inf(1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(inf, 1) {
+		t.Errorf("Identical(inf) = %v, want +Inf", inf)
+	}
+	if _, err := Identical(100, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := Identical(0, 3); err == nil {
+		t.Error("zero MTTF should fail")
+	}
+}
+
+func TestIdenticalMatchesGeneral(t *testing.T) {
+	f := func(rawMTTF float64, rawN uint8) bool {
+		mttf := math.Mod(math.Abs(rawMTTF), 1e6) + 1e-3
+		n := int(rawN%100) + 1
+		mttfs := make([]float64, n)
+		for i := range mttfs {
+			mttfs[i] = mttf
+		}
+		general, err1 := SystemMTTF(mttfs)
+		special, err2 := Identical(mttf, n)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(general-special)/special < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderIndependent(t *testing.T) {
+	a, err := SystemMTTF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SystemMTTF([]float64{4, 3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-15 {
+		t.Errorf("order dependence: %v vs %v", a, b)
+	}
+}

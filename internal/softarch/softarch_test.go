@@ -1,0 +1,221 @@
+package softarch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/soferr/soferr/internal/analytic"
+	"github.com/soferr/soferr/internal/montecarlo"
+	"github.com/soferr/soferr/internal/numeric"
+	"github.com/soferr/soferr/internal/trace"
+	"github.com/soferr/soferr/internal/xrand"
+)
+
+func busyIdle(t *testing.T, period, busy float64) *trace.Piecewise {
+	t.Helper()
+	p, err := trace.BusyIdle(period, busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMatchesClosedForm(t *testing.T) {
+	// SoftArch's survival computation must agree exactly with
+	// Derivation 1 on the busy/idle loop — both are first principles.
+	f := func(rawRate, rawL, rawA float64) bool {
+		rate := math.Mod(math.Abs(rawRate), 10) + 1e-5
+		l := math.Mod(math.Abs(rawL), 100) + 0.1
+		a := math.Mod(math.Abs(rawA), l*0.98) + l*0.01
+		tr, err := trace.BusyIdle(l, a)
+		if err != nil {
+			return false
+		}
+		got, err := ComponentMTTF(rate, tr)
+		if err != nil {
+			return false
+		}
+		want, err := analytic.BusyIdleMTTF(rate, l, a)
+		if err != nil {
+			return false
+		}
+		return numeric.RelErr(got, want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlwaysVulnerable(t *testing.T) {
+	tr, err := trace.Always(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ComponentMTTF(2, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.RelErr(got, 0.5) > 1e-12 {
+		t.Errorf("MTTF = %v, want 0.5", got)
+	}
+}
+
+func TestNeverVulnerableInfinite(t *testing.T) {
+	tr, err := trace.Never(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ComponentMTTF(2, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("MTTF = %v, want +Inf", got)
+	}
+}
+
+func TestZeroRateInfinite(t *testing.T) {
+	tr, err := trace.Always(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ComponentMTTF(0, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("MTTF = %v, want +Inf", got)
+	}
+}
+
+func TestMatchesMonteCarloRandomTraces(t *testing.T) {
+	// Random piecewise traces: SoftArch (exact) vs Monte-Carlo
+	// (sampled) must agree within a few standard errors.
+	r := xrand.New(2024)
+	for trial := 0; trial < 8; trial++ {
+		nSeg := 2 + r.Intn(6)
+		segs := make([]trace.Segment, nSeg)
+		cursor := 0.0
+		for i := 0; i < nSeg; i++ {
+			length := 0.5 + 4*r.Float64()
+			segs[i] = trace.Segment{Start: cursor, End: cursor + length, Vuln: r.Float64()}
+			cursor += length
+		}
+		p, err := trace.NewPiecewise(segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate := 0.01 + r.Float64()*0.5
+		exact, err := ComponentMTTF(rate, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := montecarlo.ComponentMTTF(
+			montecarlo.Component{Rate: rate, Trace: p},
+			montecarlo.Config{Trials: 80000, Seed: uint64(trial) + 1},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if numeric.RelErr(mc.MTTF, exact) > 0.02 {
+			t.Errorf("trial %d: MC %v vs exact %v (relerr %v)", trial, mc.MTTF, exact, numeric.RelErr(mc.MTTF, exact))
+		}
+	}
+}
+
+func TestSystemEqualsScaledSingle(t *testing.T) {
+	// n identical components == single component at n-times the rate.
+	tr := busyIdle(t, 10, 4)
+	const rate = 0.03
+	comps := make([]Component, 5)
+	for i := range comps {
+		comps[i] = Component{Rate: rate, Trace: tr}
+	}
+	multi, err := SystemMTTF(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := ComponentMTTF(5*rate, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.RelErr(multi, single) > 1e-9 {
+		t.Errorf("system %v vs scaled single %v", multi, single)
+	}
+}
+
+func TestSystemHeterogeneousAgainstMC(t *testing.T) {
+	a := busyIdle(t, 10, 6)
+	b := busyIdle(t, 10, 2)
+	comps := []Component{
+		{Name: "a", Rate: 0.05, Trace: a},
+		{Name: "b", Rate: 0.2, Trace: b},
+	}
+	exact, err := SystemMTTF(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := montecarlo.SystemMTTF([]montecarlo.Component{
+		{Name: "a", Rate: 0.05, Trace: a},
+		{Name: "b", Rate: 0.2, Trace: b},
+	}, montecarlo.Config{Trials: 120000, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.RelErr(mc.MTTF, exact) > 0.02 {
+		t.Errorf("MC %v vs exact %v", mc.MTTF, exact)
+	}
+}
+
+func TestSystemAllDeadInfinite(t *testing.T) {
+	never, err := trace.Never(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SystemMTTF([]Component{{Rate: 1, Trace: never}, {Rate: 0, Trace: never}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("MTTF = %v, want +Inf", got)
+	}
+}
+
+func TestSystemPeriodMismatchFails(t *testing.T) {
+	a := busyIdle(t, 10, 5)
+	b := busyIdle(t, 20, 5)
+	if _, err := SystemMTTF([]Component{{Rate: 1, Trace: a}, {Rate: 1, Trace: b}}); err == nil {
+		t.Error("expected period mismatch error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tr := busyIdle(t, 10, 5)
+	if _, err := ComponentMTTF(math.NaN(), tr); err == nil {
+		t.Error("NaN rate should fail")
+	}
+	if _, err := ComponentMTTF(1, nil); err == nil {
+		t.Error("nil trace should fail")
+	}
+	if _, err := SystemMTTF([]Component{{Rate: -1, Trace: tr}}); err == nil {
+		t.Error("negative rate should fail")
+	}
+}
+
+func TestLongLoopSingleComponent(t *testing.T) {
+	inner := busyIdle(t, 1e-3, 0.25e-3)
+	ll, err := trace.NewLongLoop(trace.LoopPhase{Inner: inner, Reps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ComponentMTTF(0.05, ll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fine-grained loop at small rate*L: ~1/(rate*AVF).
+	want := 1 / (0.05 * 0.25)
+	if numeric.RelErr(got, want) > 1e-3 {
+		t.Errorf("MTTF = %v, want ~%v", got, want)
+	}
+}

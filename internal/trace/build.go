@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/soferr/soferr/internal/numeric"
+)
+
+// Interval is a half-open vulnerable span [Start, End) used by the
+// schedule constructors.
+type Interval struct {
+	Start float64
+	End   float64
+}
+
+// Periodic builds a 0/1 trace of the given period in which the listed
+// intervals are vulnerable (unmasked) and everything else is masked.
+// Intervals must be sorted, non-overlapping, and within [0, period].
+func Periodic(period float64, vulnerable []Interval) (*Piecewise, error) {
+	if period <= 0 {
+		return nil, errors.New("trace: non-positive period")
+	}
+	segs := make([]Segment, 0, 2*len(vulnerable)+1)
+	cursor := 0.0
+	for i, iv := range vulnerable {
+		if iv.Start < cursor {
+			return nil, fmt.Errorf("trace: interval %d overlaps or is unsorted", i)
+		}
+		if iv.End <= iv.Start || iv.End > period {
+			return nil, fmt.Errorf("trace: interval %d out of range: [%v, %v)", i, iv.Start, iv.End)
+		}
+		if iv.Start > cursor {
+			segs = append(segs, Segment{Start: cursor, End: iv.Start, Vuln: 0})
+		}
+		segs = append(segs, Segment{Start: iv.Start, End: iv.End, Vuln: 1})
+		cursor = iv.End
+	}
+	if cursor < period {
+		segs = append(segs, Segment{Start: cursor, End: period, Vuln: 0})
+	}
+	return NewPiecewise(segs)
+}
+
+// BusyIdle builds the paper's canonical synthetic loop (Section 3.1.2):
+// vulnerable for the first busy seconds of each period, masked for the
+// rest.
+func BusyIdle(period, busy float64) (*Piecewise, error) {
+	if busy < 0 || busy > period {
+		return nil, fmt.Errorf("trace: busy %v outside [0, %v]", busy, period)
+	}
+	if busy == 0 {
+		return Never(period)
+	}
+	return Periodic(period, []Interval{{Start: 0, End: busy}})
+}
+
+// Always returns a trace that is vulnerable during the whole period:
+// every raw error causes failure (AVF = 1).
+func Always(period float64) (*Piecewise, error) {
+	return NewPiecewise([]Segment{{Start: 0, End: period, Vuln: 1}})
+}
+
+// Never returns a trace that masks every raw error (AVF = 0).
+func Never(period float64) (*Piecewise, error) {
+	return NewPiecewise([]Segment{{Start: 0, End: period, Vuln: 0}})
+}
+
+// FromBits builds a cycle-granularity 0/1 trace: bit i covers
+// [i, i+1) * cycleSeconds and is vulnerable when true. Runs of equal
+// bits are compressed.
+func FromBits(bits []bool, cycleSeconds float64) (*Piecewise, error) {
+	if len(bits) == 0 {
+		return nil, errors.New("trace: empty bit trace")
+	}
+	if cycleSeconds <= 0 {
+		return nil, errors.New("trace: non-positive cycle duration")
+	}
+	segs := make([]Segment, 0, 64)
+	runStart := 0
+	for i := 1; i <= len(bits); i++ {
+		if i < len(bits) && bits[i] == bits[runStart] {
+			continue
+		}
+		v := 0.0
+		if bits[runStart] {
+			v = 1.0
+		}
+		segs = append(segs, Segment{
+			Start: float64(runStart) * cycleSeconds,
+			End:   float64(i) * cycleSeconds,
+			Vuln:  v,
+		})
+		runStart = i
+	}
+	return NewPiecewise(segs)
+}
+
+// FromLevels builds a trace from per-cycle vulnerability levels in
+// [0, 1] (e.g. liveRegisters/totalRegisters for a register file). Runs
+// of equal levels are compressed.
+func FromLevels(levels []float64, cycleSeconds float64) (*Piecewise, error) {
+	if len(levels) == 0 {
+		return nil, errors.New("trace: empty level trace")
+	}
+	if cycleSeconds <= 0 {
+		return nil, errors.New("trace: non-positive cycle duration")
+	}
+	segs := make([]Segment, 0, 64)
+	runStart := 0
+	for i := 1; i <= len(levels); i++ {
+		if i < len(levels) && levels[i] == levels[runStart] {
+			continue
+		}
+		segs = append(segs, Segment{
+			Start: float64(runStart) * cycleSeconds,
+			End:   float64(i) * cycleSeconds,
+			Vuln:  levels[runStart],
+		})
+		runStart = i
+	}
+	return NewPiecewise(segs)
+}
+
+// WeightedUnion combines k unit traces of a processor into one
+// processor-level trace. A raw error striking the processor belongs to
+// unit u with probability weight[u]/sum(weights) (weights are the units'
+// raw error rates), and is unmasked iff that unit is vulnerable, so the
+// processor's instantaneous vulnerability is the weighted average of the
+// units'. All traces must share the same period.
+//
+// This reduction is exact for both the Monte-Carlo engine (Poisson
+// thinning) and the survival integral (rates add), and is what lets a
+// multi-unit processor be treated as a single component.
+func WeightedUnion(weights []float64, traces []*Piecewise) (*Piecewise, error) {
+	if len(weights) != len(traces) || len(traces) == 0 {
+		return nil, errors.New("trace: WeightedUnion needs equal non-zero numbers of weights and traces")
+	}
+	period := traces[0].period
+	totalW := 0.0
+	for i, w := range traces {
+		if w.period != period {
+			return nil, fmt.Errorf("trace: period mismatch: trace %d has %v, want %v", i, w.period, period)
+		}
+		if weights[i] < 0 {
+			return nil, fmt.Errorf("trace: negative weight %v", weights[i])
+		}
+		totalW += weights[i]
+	}
+	if totalW == 0 {
+		return nil, errors.New("trace: all weights zero")
+	}
+	idx := make([]int, len(traces))
+	segs := make([]Segment, 0, len(traces[0].segs))
+	cursor := 0.0
+	for cursor < period {
+		// Current vulnerability and the nearest segment end among traces.
+		v := 0.0
+		next := period
+		for k, tr := range traces {
+			s := tr.segs[idx[k]]
+			v += weights[k] / totalW * s.Vuln
+			if s.End < next {
+				next = s.End
+			}
+		}
+		if v > 1 {
+			v = 1
+		}
+		segs = append(segs, Segment{Start: cursor, End: next, Vuln: v})
+		cursor = next
+		for k, tr := range traces {
+			if idx[k] < len(tr.segs)-1 && tr.segs[idx[k]].End <= cursor {
+				idx[k]++
+			}
+		}
+	}
+	return NewPiecewise(segs)
+}
+
+// Concat joins traces back to back into a single period equal to the sum
+// of the parts (used to build the paper's "combined" workload from two
+// benchmark halves).
+func Concat(traces ...*Piecewise) (*Piecewise, error) {
+	if len(traces) == 0 {
+		return nil, errors.New("trace: Concat of nothing")
+	}
+	var segs []Segment
+	offset := 0.0
+	for _, tr := range traces {
+		for _, s := range tr.segs {
+			segs = append(segs, Segment{Start: offset + s.Start, End: offset + s.End, Vuln: s.Vuln})
+		}
+		offset += tr.period
+	}
+	return NewPiecewise(segs)
+}
+
+// LongLoop is a lazy trace: a sequence of phases, each repeating an
+// inner materialized trace a (possibly enormous) number of times. It
+// represents workloads like the paper's "combined" schedule — a SPEC
+// benchmark trace with a sub-millisecond period looping for twelve hours
+// — without materializing billions of segments.
+type LongLoop struct {
+	phases []LoopPhase
+	starts []float64 // phase start offsets
+	period float64
+	avf    float64
+}
+
+// LoopPhase repeats Inner Reps times.
+type LoopPhase struct {
+	Inner *Piecewise
+	Reps  int64
+}
+
+var _ Trace = (*LongLoop)(nil)
+
+// NewLongLoop builds a lazy loop trace from phases.
+func NewLongLoop(phases ...LoopPhase) (*LongLoop, error) {
+	if len(phases) == 0 {
+		return nil, errors.New("trace: LongLoop with no phases")
+	}
+	l := &LongLoop{
+		phases: make([]LoopPhase, len(phases)),
+		starts: make([]float64, len(phases)+1),
+	}
+	copy(l.phases, phases)
+	var dur, exp numeric.KahanSum
+	for i, ph := range phases {
+		if ph.Reps <= 0 {
+			return nil, fmt.Errorf("trace: phase %d has %d repetitions", i, ph.Reps)
+		}
+		if ph.Inner == nil {
+			return nil, fmt.Errorf("trace: phase %d has nil inner trace", i)
+		}
+		l.starts[i] = dur.Sum()
+		d := float64(ph.Reps) * ph.Inner.Period()
+		dur.Add(d)
+		exp.Add(d * ph.Inner.AVF())
+	}
+	l.starts[len(phases)] = dur.Sum()
+	l.period = dur.Sum()
+	l.avf = exp.Sum() / l.period
+	return l, nil
+}
+
+// RepeatFor returns the number of repetitions needed for inner to fill
+// at least the given duration (at least one).
+func RepeatFor(inner *Piecewise, duration float64) int64 {
+	n := int64(math.Ceil(duration / inner.Period()))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Period returns the total loop length.
+func (l *LongLoop) Period() float64 { return l.period }
+
+// AVF returns the duration-weighted average of the phase AVFs.
+func (l *LongLoop) AVF() float64 { return l.avf }
+
+// VulnAt locates the phase containing t and defers to the inner trace.
+func (l *LongLoop) VulnAt(t float64) float64 {
+	x := wrap(t, l.period)
+	// Find the phase: starts is sorted.
+	lo, hi := 0, len(l.phases)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.starts[mid+1] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	ph := l.phases[lo]
+	return ph.Inner.VulnAt(x - l.starts[lo])
+}
+
+// SurvivalIntegral composes the phases analytically: within one phase of
+// r repetitions of an inner trace with per-iteration survival integral I
+// and per-iteration exposure e, the phase contributes
+// I * (1 - q^r)/(1 - q) with q = exp(-e), scaled by the survival
+// accumulated in earlier phases.
+func (l *LongLoop) SurvivalIntegral(rate float64) (integral, exposure float64) {
+	var sum numeric.KahanSum
+	expSoFar := 0.0 // rate-weighted exposure accumulated before this phase
+	for _, ph := range l.phases {
+		inner, e := ph.Inner.SurvivalIntegral(rate)
+		r := float64(ph.Reps)
+		pre := numeric.ExpNeg(expSoFar)
+		if pre > 0 {
+			var phaseIntegral float64
+			if e == 0 {
+				phaseIntegral = inner * r
+			} else {
+				// sum_{i=0}^{r-1} e^(-i*e) = (1 - e^(-r*e)) / (1 - e^(-e))
+				phaseIntegral = inner * numeric.OneMinusExpNeg(r*e) / numeric.OneMinusExpNeg(e)
+			}
+			sum.Add(pre * phaseIntegral)
+		}
+		expSoFar += r * e
+	}
+	return sum.Sum(), expSoFar
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"github.com/soferr/soferr/internal/numeric"
+	"github.com/soferr/soferr/internal/xrand"
+)
+
+func randomDenseTrace(t *testing.T, nSegs int, seed uint64) *Piecewise {
+	t.Helper()
+	r := xrand.New(seed)
+	segs := make([]Segment, nSegs)
+	cursor := 0.0
+	for i := range segs {
+		length := 0.5 + r.Float64()
+		v := 0.0
+		if r.Bool(0.4) {
+			v = r.Float64()
+		}
+		segs[i] = Segment{Start: cursor, End: cursor + length, Vuln: v}
+		cursor += length
+	}
+	p, err := NewPiecewise(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCoarsenPreservesAVF(t *testing.T) {
+	p := randomDenseTrace(t, 5000, 1)
+	for _, max := range []int{10, 100, 999} {
+		c, err := Coarsen(p, max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NumSegments() > max {
+			t.Errorf("coarsened to %d segments, cap %d", c.NumSegments(), max)
+		}
+		if math.Abs(c.AVF()-p.AVF()) > 1e-12 {
+			t.Errorf("max=%d: AVF drifted %v -> %v", max, p.AVF(), c.AVF())
+		}
+		if numeric.RelErr(c.Period(), p.Period()) > 1e-12 {
+			t.Errorf("max=%d: period drifted", max)
+		}
+	}
+}
+
+func TestCoarsenIdentityWhenSmall(t *testing.T) {
+	p := mustBusyIdle(t, 10, 4)
+	c, err := Coarsen(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != p {
+		t.Error("small trace should be returned unchanged")
+	}
+}
+
+func TestCoarsenSurvivalIntegralClose(t *testing.T) {
+	// At realistic rates (rate x window << 1) the survival integral
+	// must be essentially unchanged.
+	p := randomDenseTrace(t, 20000, 2)
+	c, err := Coarsen(p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := p.Period() / float64(c.NumSegments())
+	for _, rate := range []float64{1e-8, 1e-5, 1e-3} {
+		iP, eP := p.SurvivalIntegral(rate)
+		iC, eC := c.SurvivalIntegral(rate)
+		if numeric.RelErr(eC, eP) > 1e-12 {
+			t.Errorf("rate %v: exposure drifted %v -> %v", rate, eP, eC)
+		}
+		// Distortion is second order in rate x window (small constant),
+		// on top of a ~1e-10 float-summation noise floor from the very
+		// different segment counts.
+		bound := 5 * (rate * window) * (rate * window)
+		if bound < 1e-9 {
+			bound = 1e-9
+		}
+		if got := numeric.RelErr(iC, iP); got > bound {
+			t.Errorf("rate %v: survival integral drifted %v -> %v (rel %v, bound %v)",
+				rate, iP, iC, got, bound)
+		}
+	}
+}
+
+func TestCoarsenVulnInRange(t *testing.T) {
+	p := randomDenseTrace(t, 3000, 3)
+	c, err := Coarsen(p, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Segments() {
+		if s.Vuln < 0 || s.Vuln > 1 {
+			t.Fatalf("vulnerability %v out of range", s.Vuln)
+		}
+	}
+}
+
+func TestCoarsenValidation(t *testing.T) {
+	if _, err := Coarsen(nil, 10); err == nil {
+		t.Error("nil trace accepted")
+	}
+	p := mustBusyIdle(t, 10, 4)
+	if _, err := Coarsen(p, 0); err == nil {
+		t.Error("zero cap accepted")
+	}
+}

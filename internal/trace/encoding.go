@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary encoding of a Piecewise trace, for caching simulator output
+// between runs. Format (little endian):
+//
+//	magic  uint32  'S','F','T','R'
+//	ver    uint32  1
+//	nsegs  uint64
+//	then per segment: end float64, vuln float64
+//
+// Segment starts are implied by contiguity from zero, which also makes
+// corrupt files detectable.
+const (
+	traceMagic   = 0x52544653 // "SFTR" little-endian
+	traceVersion = 1
+)
+
+// WriteTo serializes the trace. It implements io.WriterTo.
+func (p *Piecewise) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(uint32(traceMagic)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(traceVersion)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(p.segs))); err != nil {
+		return n, err
+	}
+	for _, s := range p.segs {
+		if err := write(s.End); err != nil {
+			return n, err
+		}
+		if err := write(s.Vuln); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadPiecewise deserializes a trace written by WriteTo.
+func ReadPiecewise(r io.Reader) (*Piecewise, error) {
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, errors.New("trace: not a trace file (bad magic)")
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("trace: read version: %w", err)
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	var nsegs uint64
+	if err := binary.Read(br, binary.LittleEndian, &nsegs); err != nil {
+		return nil, fmt.Errorf("trace: read segment count: %w", err)
+	}
+	const maxSegs = 1 << 30
+	if nsegs == 0 || nsegs > maxSegs {
+		return nil, fmt.Errorf("trace: implausible segment count %d", nsegs)
+	}
+	segs := make([]Segment, nsegs)
+	start := 0.0
+	for i := range segs {
+		var end, vuln float64
+		if err := binary.Read(br, binary.LittleEndian, &end); err != nil {
+			return nil, fmt.Errorf("trace: read segment %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &vuln); err != nil {
+			return nil, fmt.Errorf("trace: read segment %d: %w", i, err)
+		}
+		if math.IsNaN(end) || end <= start {
+			return nil, fmt.Errorf("trace: segment %d end %v not after %v", i, end, start)
+		}
+		segs[i] = Segment{Start: start, End: end, Vuln: vuln}
+		start = end
+	}
+	return NewPiecewise(segs)
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"errors"
+	"math"
+)
+
+// Shift returns a copy of p whose pattern is delayed by offset seconds:
+// the new trace's vulnerability at time t equals p's at time t - offset.
+// Offsets of any sign are accepted and wrapped into one period.
+//
+// Phase shifts extend the paper's model: its cluster experiments assume
+// all processors run in phase, which concentrates failures in the
+// shared busy window and is exactly what breaks SOFR. Shifting
+// component traces lets a user model staggered or time-zoned fleets and
+// measure how quickly SOFR becomes accurate again as phases decorrelate
+// (see the phased-cluster tests and example).
+func Shift(p *Piecewise, offset float64) (*Piecewise, error) {
+	if p == nil {
+		return nil, errors.New("trace: Shift of nil trace")
+	}
+	period := p.period
+	off := math.Mod(offset, period)
+	if off < 0 {
+		off += period
+	}
+	if off == 0 {
+		out := *p
+		return &out, nil
+	}
+	// The new trace starts inside segment k of the original: emit the
+	// tail [cut, period) first, then the head [0, cut).
+	cut := period - off
+	segs := make([]Segment, 0, len(p.segs)+1)
+	for _, s := range p.segs {
+		if s.End <= cut {
+			continue
+		}
+		start := math.Max(s.Start, cut)
+		segs = append(segs, Segment{Start: start - cut, End: s.End - cut, Vuln: s.Vuln})
+	}
+	for _, s := range p.segs {
+		if s.Start >= cut {
+			break
+		}
+		end := math.Min(s.End, cut)
+		segs = append(segs, Segment{Start: s.Start + off, End: end + off, Vuln: s.Vuln})
+	}
+	return NewPiecewise(segs)
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/soferr/soferr/internal/numeric"
+)
+
+func TestShiftBasic(t *testing.T) {
+	p := mustBusyIdle(t, 10, 4) // vulnerable [0,4)
+	s, err := Shift(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shifted: vulnerable [3,7).
+	for _, tt := range []struct{ x, want float64 }{
+		{0, 0}, {2.9, 0}, {3.1, 1}, {6.9, 1}, {7.1, 0}, {9.9, 0},
+	} {
+		if got := s.VulnAt(tt.x); got != tt.want {
+			t.Errorf("VulnAt(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if numeric.RelErr(s.AVF(), p.AVF()) > 1e-12 {
+		t.Errorf("shift changed AVF: %v vs %v", s.AVF(), p.AVF())
+	}
+}
+
+func TestShiftWrapsVulnerableWindow(t *testing.T) {
+	p := mustBusyIdle(t, 10, 4)
+	s, err := Shift(p, 8) // vulnerable [8,10) + [0,2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct{ x, want float64 }{
+		{1, 1}, {3, 0}, {7, 0}, {9, 1},
+	} {
+		if got := s.VulnAt(tt.x); got != tt.want {
+			t.Errorf("VulnAt(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestShiftProperties(t *testing.T) {
+	base := mustPiecewise(t, []Segment{{0, 3, 0.25}, {3, 5, 1}, {5, 11, 0}})
+	f := func(rawOff float64) bool {
+		off := math.Mod(rawOff, 50)
+		s, err := Shift(base, off)
+		if err != nil {
+			return false
+		}
+		// Period and AVF are invariant; VulnAt shifts.
+		if numeric.RelErr(s.Period(), base.Period()) > 1e-12 {
+			return false
+		}
+		if math.Abs(s.AVF()-base.AVF()) > 1e-12 {
+			return false
+		}
+		for _, x := range []float64{0.5, 2.9, 4.1, 7.7, 10.2} {
+			if math.Abs(s.VulnAt(x+off)-base.VulnAt(x)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftZeroAndNil(t *testing.T) {
+	p := mustBusyIdle(t, 10, 4)
+	s, err := Shift(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AVF() != p.AVF() || s.Period() != p.Period() {
+		t.Error("zero shift changed trace")
+	}
+	if _, err := Shift(nil, 1); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestShiftNegativeOffset(t *testing.T) {
+	p := mustBusyIdle(t, 10, 4)
+	a, err := Shift(p, -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shift(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 3.5, 6.5, 9.5} {
+		if a.VulnAt(x) != b.VulnAt(x) {
+			t.Errorf("Shift(-3) != Shift(7) at %v", x)
+		}
+	}
+}
+
+func TestEncodingRoundTrip(t *testing.T) {
+	p := mustPiecewise(t, []Segment{{0, 1.5, 0.75}, {1.5, 4, 0}, {4, 9.25, 1}})
+	var buf bytes.Buffer
+	n, err := p.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	q, err := ReadPiecewise(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Period() != p.Period() || q.AVF() != p.AVF() || q.NumSegments() != p.NumSegments() {
+		t.Errorf("round trip mismatch: %v/%v vs %v/%v", q.Period(), q.AVF(), p.Period(), p.AVF())
+	}
+	for _, x := range []float64{0.1, 2, 5, 9} {
+		if q.VulnAt(x) != p.VulnAt(x) {
+			t.Errorf("VulnAt(%v) differs after round trip", x)
+		}
+	}
+}
+
+func TestEncodingRejectsGarbage(t *testing.T) {
+	if _, err := ReadPiecewise(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Right magic, wrong version.
+	var buf bytes.Buffer
+	buf.Write([]byte{0x53, 0x46, 0x54, 0x52}) // SFTR
+	buf.Write([]byte{9, 0, 0, 0})             // version 9
+	if _, err := ReadPiecewise(&buf); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncated stream.
+	var buf2 bytes.Buffer
+	p := mustBusyIdle(t, 10, 4)
+	if _, err := p.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf2.Bytes()[:buf2.Len()-5]
+	if _, err := ReadPiecewise(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestEncodingLargeTrace(t *testing.T) {
+	bits := make([]bool, 4096)
+	for i := range bits {
+		bits[i] = i%3 == 0
+	}
+	p, err := FromBits(bits, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPiecewise(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.RelErr(q.AVF(), p.AVF()) > 1e-12 {
+		t.Errorf("AVF drifted: %v vs %v", q.AVF(), p.AVF())
+	}
+}

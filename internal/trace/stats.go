@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"errors"
+	"math"
+)
+
+// Stats summarizes the temporal structure of a masking trace. The
+// quantities matter because every AVF+SOFR failure mode in the paper is
+// driven not by the AVF itself but by *how* vulnerability is arranged
+// in time: long coherent busy/idle runs (large burstiness at long time
+// scales) are what break the uniformity and exponentiality assumptions.
+type Stats struct {
+	// Period and AVF restate the trace basics.
+	Period float64
+	AVF    float64
+	// Segments is the number of constant-vulnerability segments.
+	Segments int
+	// VulnTime is the total vulnerability-weighted time per period.
+	VulnTime float64
+	// MaxVulnRun and MaxMaskedRun are the longest contiguous spans with
+	// vulnerability above/below the 0.5 threshold.
+	MaxVulnRun   float64
+	MaxMaskedRun float64
+	// MeanVulnRun is the average length of above-threshold runs.
+	MeanVulnRun float64
+	// VulnVariance is the time-weighted variance of the instantaneous
+	// vulnerability around the AVF. Zero means constant vulnerability —
+	// the one case where the AVF step is exact at every rate.
+	VulnVariance float64
+	// BreakRate estimates the raw error rate (errors/second) at which
+	// the AVF-step MTTF first deviates ~10% from first principles:
+	// roughly 0.4 divided by the longest coherent run. +Inf when the
+	// vulnerability is constant.
+	BreakRate float64
+}
+
+// ComputeStats analyzes a materialized trace.
+func ComputeStats(p *Piecewise) (Stats, error) {
+	if p == nil {
+		return Stats{}, errors.New("trace: ComputeStats of nil trace")
+	}
+	st := Stats{
+		Period:   p.period,
+		AVF:      p.avf,
+		Segments: len(p.segs),
+		VulnTime: p.avf * p.period,
+	}
+
+	const threshold = 0.5
+	var (
+		runLen     float64
+		vulnRun    bool
+		vulnRuns   []float64
+		maskedRuns []float64
+	)
+	flush := func() {
+		if runLen == 0 {
+			return
+		}
+		if vulnRun {
+			vulnRuns = append(vulnRuns, runLen)
+		} else {
+			maskedRuns = append(maskedRuns, runLen)
+		}
+	}
+	for i, s := range p.segs {
+		isVuln := s.Vuln >= threshold
+		length := s.End - s.Start
+		if i == 0 {
+			vulnRun = isVuln
+			runLen = length
+			continue
+		}
+		if isVuln == vulnRun {
+			runLen += length
+			continue
+		}
+		flush()
+		vulnRun = isVuln
+		runLen = length
+	}
+	flush()
+	// The trace repeats: if the first and last runs are the same kind,
+	// they are one run across the wrap point. Merge for the maxima.
+	if len(vulnRuns)+len(maskedRuns) >= 2 {
+		firstVuln := p.segs[0].Vuln >= threshold
+		lastVuln := p.segs[len(p.segs)-1].Vuln >= threshold
+		if firstVuln == lastVuln {
+			if firstVuln && len(vulnRuns) >= 2 {
+				vulnRuns[0] += vulnRuns[len(vulnRuns)-1]
+				vulnRuns = vulnRuns[:len(vulnRuns)-1]
+			} else if !firstVuln && len(maskedRuns) >= 2 {
+				maskedRuns[0] += maskedRuns[len(maskedRuns)-1]
+				maskedRuns = maskedRuns[:len(maskedRuns)-1]
+			}
+		}
+	}
+	sum := 0.0
+	for _, r := range vulnRuns {
+		sum += r
+		if r > st.MaxVulnRun {
+			st.MaxVulnRun = r
+		}
+	}
+	if len(vulnRuns) > 0 {
+		st.MeanVulnRun = sum / float64(len(vulnRuns))
+	}
+	for _, r := range maskedRuns {
+		if r > st.MaxMaskedRun {
+			st.MaxMaskedRun = r
+		}
+	}
+
+	for _, s := range p.segs {
+		d := s.Vuln - p.avf
+		st.VulnVariance += d * d * (s.End - s.Start)
+	}
+	st.VulnVariance /= p.period
+
+	longest := math.Max(st.MaxVulnRun, st.MaxMaskedRun)
+	if st.VulnVariance < 1e-15 || longest == 0 {
+		st.BreakRate = math.Inf(1)
+	} else {
+		st.BreakRate = 0.4 / longest
+	}
+	return st, nil
+}

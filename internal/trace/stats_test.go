@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"github.com/soferr/soferr/internal/numeric"
+)
+
+func TestStatsBusyIdle(t *testing.T) {
+	p := mustBusyIdle(t, 10, 4)
+	st, err := ComputeStats(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Period != 10 || math.Abs(st.AVF-0.4) > 1e-12 {
+		t.Errorf("basics wrong: %+v", st)
+	}
+	if st.MaxVulnRun != 4 {
+		t.Errorf("MaxVulnRun = %v, want 4", st.MaxVulnRun)
+	}
+	if st.MaxMaskedRun != 6 {
+		t.Errorf("MaxMaskedRun = %v, want 6", st.MaxMaskedRun)
+	}
+	if st.MeanVulnRun != 4 {
+		t.Errorf("MeanVulnRun = %v, want 4", st.MeanVulnRun)
+	}
+	// Variance of a 0/1 trace with mean 0.4 is 0.4*0.6 = 0.24.
+	if numeric.RelErr(st.VulnVariance, 0.24) > 1e-12 {
+		t.Errorf("VulnVariance = %v, want 0.24", st.VulnVariance)
+	}
+	if numeric.RelErr(st.BreakRate, 0.4/6) > 1e-12 {
+		t.Errorf("BreakRate = %v, want %v", st.BreakRate, 0.4/6)
+	}
+}
+
+func TestStatsConstantVulnIsExactForAVF(t *testing.T) {
+	p := mustPiecewise(t, []Segment{{0, 10, 0.3}})
+	st, err := ComputeStats(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VulnVariance > 1e-15 {
+		t.Errorf("VulnVariance = %v, want 0", st.VulnVariance)
+	}
+	if !math.IsInf(st.BreakRate, 1) {
+		t.Errorf("BreakRate = %v, want +Inf (AVF exact at every rate)", st.BreakRate)
+	}
+}
+
+func TestStatsWrapMergesRuns(t *testing.T) {
+	// Vulnerable at both ends: [0,2) and [8,10) are one 4-second run
+	// across the wrap point.
+	p, err := Periodic(10, []Interval{{0, 2}, {8, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeStats(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxVulnRun != 4 {
+		t.Errorf("MaxVulnRun = %v, want 4 (wrapped)", st.MaxVulnRun)
+	}
+	if st.MaxMaskedRun != 6 {
+		t.Errorf("MaxMaskedRun = %v, want 6", st.MaxMaskedRun)
+	}
+}
+
+func TestStatsBreakRatePredictsAVFError(t *testing.T) {
+	// The heuristic must be conservative-ish: at BreakRate the true
+	// AVF-step error should be within a factor of a few of 10%.
+	p := mustBusyIdle(t, 86400, 43200)
+	st, err := ComputeStats(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, e := p.SurvivalIntegral(st.BreakRate)
+	real := i / numeric.OneMinusExpNeg(e)
+	avfMTTF := 1 / (st.BreakRate * p.AVF())
+	relErr := math.Abs(avfMTTF-real) / real
+	if relErr < 0.02 || relErr > 0.5 {
+		t.Errorf("AVF error at BreakRate = %v, want near 10%%", relErr)
+	}
+}
+
+func TestStatsNil(t *testing.T) {
+	if _, err := ComputeStats(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestStatsFractionalRegfileLikeTrace(t *testing.T) {
+	levels := []float64{0.1, 0.2, 0.6, 0.7, 0.1, 0.05}
+	p, err := FromLevels(levels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeStats(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxVulnRun != 2 { // the 0.6,0.7 stretch
+		t.Errorf("MaxVulnRun = %v, want 2", st.MaxVulnRun)
+	}
+	if st.VulnVariance <= 0 {
+		t.Errorf("VulnVariance = %v, want > 0", st.VulnVariance)
+	}
+}

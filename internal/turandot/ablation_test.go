@@ -1,0 +1,165 @@
+package turandot
+
+import (
+	"testing"
+
+	"github.com/soferr/soferr/internal/isa"
+)
+
+// Ablation tests: each structural resource of the Table 1 machine must
+// actually constrain performance. These pin down the design choices
+// DESIGN.md calls out — if a parameter silently stops mattering, the
+// simulator has regressed into a simpler model than the paper's.
+
+func runWith(t *testing.T, cfg Config, prog []isa.Inst) *Result {
+	t.Helper()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// independentMix builds a wide-ILP workload that can exploit extra
+// resources.
+func independentMix(n int) []isa.Inst {
+	prog := make([]isa.Inst, n)
+	for i := range prog {
+		switch i % 4 {
+		case 0, 1:
+			prog[i] = isa.Inst{Class: isa.IntALU, Dest: isa.IntReg(4 + i%16), Src1: isa.IntReg(1)}
+		case 2:
+			prog[i] = isa.Inst{Class: isa.FPOp, Dest: isa.FPReg(4 + i%16), Src1: isa.FPReg(1)}
+		default:
+			prog[i] = isa.Inst{Class: isa.Load, Dest: isa.IntReg(20 + i%8), Src1: isa.IntReg(2),
+				Addr: uint64(i%512) * 8}
+		}
+	}
+	return seqPCs(prog)
+}
+
+func TestAblationIntUnits(t *testing.T) {
+	prog := make([]isa.Inst, 20000)
+	for i := range prog {
+		prog[i] = isa.Inst{Class: isa.IntALU, Dest: isa.IntReg(4 + i%16), Src1: isa.IntReg(1)}
+	}
+	seqPCs(prog)
+	base := runWith(t, DefaultConfig(), prog)
+	one := DefaultConfig()
+	one.IntUnits = 1
+	halved := runWith(t, one, prog)
+	if float64(halved.Stats.Cycles) < 1.6*float64(base.Stats.Cycles) {
+		t.Errorf("halving integer units: %d -> %d cycles; expected ~2x",
+			base.Stats.Cycles, halved.Stats.Cycles)
+	}
+}
+
+func TestAblationROBSize(t *testing.T) {
+	// Long-latency loads need a deep ROB to overlap; a tiny ROB must
+	// hurt a memory-miss workload.
+	prog := make([]isa.Inst, 6000)
+	for i := range prog {
+		if i%3 == 0 {
+			prog[i] = isa.Inst{Class: isa.Load, Dest: isa.IntReg(4 + i%8), Src1: isa.IntReg(1),
+				Addr: uint64(i) * 256 * 1024}
+		} else {
+			prog[i] = isa.Inst{Class: isa.IntALU, Dest: isa.IntReg(12 + i%8), Src1: isa.IntReg(2)}
+		}
+	}
+	seqPCs(prog)
+	base := runWith(t, DefaultConfig(), prog)
+	small := DefaultConfig()
+	small.ROBSize = 8
+	cramped := runWith(t, small, prog)
+	if float64(cramped.Stats.Cycles) < 1.5*float64(base.Stats.Cycles) {
+		t.Errorf("ROB 150 -> 8: %d -> %d cycles; expected large slowdown",
+			base.Stats.Cycles, cramped.Stats.Cycles)
+	}
+	if cramped.Stats.StallROB == 0 {
+		t.Error("no ROB stalls recorded with an 8-entry ROB")
+	}
+}
+
+func TestAblationMemQueue(t *testing.T) {
+	prog := make([]isa.Inst, 6000)
+	for i := range prog {
+		prog[i] = isa.Inst{Class: isa.Load, Dest: isa.IntReg(4 + i%8), Src1: isa.IntReg(1),
+			Addr: uint64(i) * 256 * 1024}
+	}
+	seqPCs(prog)
+	base := runWith(t, DefaultConfig(), prog)
+	tiny := DefaultConfig()
+	tiny.MemQueueSize = 2
+	blocked := runWith(t, tiny, prog)
+	if float64(blocked.Stats.Cycles) < 2*float64(base.Stats.Cycles) {
+		t.Errorf("memq 32 -> 2: %d -> %d cycles; expected big slowdown on a miss stream",
+			base.Stats.Cycles, blocked.Stats.Cycles)
+	}
+}
+
+func TestAblationRenameRegs(t *testing.T) {
+	// Long-latency FP ops with few rename registers throttle dispatch.
+	prog := make([]isa.Inst, 10000)
+	for i := range prog {
+		prog[i] = isa.Inst{Class: isa.FPDiv, Dest: isa.FPReg(4 + i%16), Src1: isa.FPReg(1)}
+	}
+	seqPCs(prog)
+	base := runWith(t, DefaultConfig(), prog)
+	tight := DefaultConfig()
+	tight.FPRenameRegs = 36 // only 4 rename registers beyond architectural
+	starved := runWith(t, tight, prog)
+	if float64(starved.Stats.Cycles) < 2*float64(base.Stats.Cycles) {
+		t.Errorf("fp rename 72 -> 36: %d -> %d cycles; expected throttling",
+			base.Stats.Cycles, starved.Stats.Cycles)
+	}
+	if starved.Stats.StallRename == 0 {
+		t.Error("no rename stalls recorded")
+	}
+}
+
+func TestAblationDispatchWidth(t *testing.T) {
+	prog := independentMix(20000)
+	base := runWith(t, DefaultConfig(), prog)
+	narrow := DefaultConfig()
+	narrow.DispatchWidth = 1
+	serial := runWith(t, narrow, prog)
+	if float64(serial.Stats.Cycles) < 1.5*float64(base.Stats.Cycles) {
+		t.Errorf("dispatch 5 -> 1: %d -> %d cycles; expected slowdown",
+			base.Stats.Cycles, serial.Stats.Cycles)
+	}
+}
+
+func TestAblationL2Latency(t *testing.T) {
+	// A working set that fits L2 but not L1: L2 latency must matter.
+	prog := make([]isa.Inst, 20000)
+	for i := range prog {
+		prog[i] = isa.Inst{Class: isa.Load, Dest: isa.IntReg(4 + i%8), Src1: isa.IntReg(1),
+			Addr: uint64(i%4096) * 128} // 512KB set, L1D is 32KB
+	}
+	seqPCs(prog)
+	base := runWith(t, DefaultConfig(), prog)
+	slowL2 := DefaultConfig()
+	slowL2.Mem.L2.LatencyCycles = 40
+	slowed := runWith(t, slowL2, prog)
+	if slowed.Stats.Cycles <= base.Stats.Cycles {
+		t.Errorf("L2 latency 10 -> 40 made no difference: %d vs %d cycles",
+			base.Stats.Cycles, slowed.Stats.Cycles)
+	}
+}
+
+func TestMemStatsConsistent(t *testing.T) {
+	res := run(t, independentMix(20000))
+	s := res.Stats
+	if s.L1DHits+s.L1DMisses == 0 {
+		t.Error("no L1D accesses recorded for a load-heavy program")
+	}
+	// Every L2 access is an L1 miss (I or D side).
+	if s.L2Hits+s.L2Misses > s.L1DMisses+s.L1IMisses {
+		t.Errorf("L2 accesses (%d) exceed L1 misses (%d)",
+			s.L2Hits+s.L2Misses, s.L1DMisses+s.L1IMisses)
+	}
+}

@@ -1,0 +1,92 @@
+package turandot
+
+// predictor is a tournament (McFarling-style) branch predictor, as used
+// by Alpha 21264-class and POWER-class machines: a bimodal (per-PC)
+// table of two-bit counters, a gshare (global-history) table, and a
+// chooser table that learns per index which component predicts better.
+//
+// The combination matters for synthetic workloads: branches whose
+// outcomes are periodic per-PC but interleaved with many other branches
+// present noisy global history, where bimodal wins; branches correlated
+// with recent outcomes favour gshare. The chooser adapts per branch.
+type predictor struct {
+	history uint32
+	mask    uint32
+	bimodal []uint8 // 2-bit saturating: taken if >= 2
+	gshare  []uint8
+	chooser []uint8 // >= 2 selects gshare, else bimodal
+}
+
+func newPredictor(bits int) *predictor {
+	size := 1 << uint(bits)
+	p := &predictor{
+		mask:    uint32(size - 1),
+		bimodal: make([]uint8, size),
+		gshare:  make([]uint8, size),
+		chooser: make([]uint8, size),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 1 // weakly not-taken
+		p.gshare[i] = 1
+		p.chooser[i] = 1 // weakly bimodal
+	}
+	return p
+}
+
+func (p *predictor) bimodalIndex(pc uint64) uint32 { return uint32(pc>>2) & p.mask }
+func (p *predictor) gshareIndex(pc uint64) uint32  { return (uint32(pc>>2) ^ p.history) & p.mask }
+
+// predict returns the predicted direction for the branch at pc.
+func (p *predictor) predict(pc uint64) bool {
+	pb := p.bimodal[p.bimodalIndex(pc)] >= 2
+	pg := p.gshare[p.gshareIndex(pc)] >= 2
+	if p.chooser[p.bimodalIndex(pc)] >= 2 {
+		return pg
+	}
+	return pb
+}
+
+// update trains both components and the chooser, then shifts the
+// outcome into the global history.
+func (p *predictor) update(pc uint64, taken bool) {
+	bi := p.bimodalIndex(pc)
+	gi := p.gshareIndex(pc)
+	pb := p.bimodal[bi] >= 2
+	pg := p.gshare[gi] >= 2
+
+	// Chooser trains only when the components disagree.
+	if pb != pg {
+		c := p.chooser[bi]
+		if pg == taken {
+			if c < 3 {
+				c++
+			}
+		} else if c > 0 {
+			c--
+		}
+		p.chooser[bi] = c
+	}
+
+	train := func(t []uint8, i uint32) {
+		c := t[i]
+		if taken {
+			if c < 3 {
+				c++
+			}
+		} else if c > 0 {
+			c--
+		}
+		t[i] = c
+	}
+	train(p.bimodal, bi)
+	train(p.gshare, gi)
+
+	p.history = ((p.history << 1) | b2u(taken)) & p.mask
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

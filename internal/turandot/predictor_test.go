@@ -1,0 +1,93 @@
+package turandot
+
+import "testing"
+
+func TestPredictorLearnsBias(t *testing.T) {
+	p := newPredictor(12)
+	mis := 0
+	for i := 0; i < 2000; i++ {
+		taken := i%20 != 19 // loop branch: taken 19 of 20
+		if p.predict(0x1000) != taken {
+			mis++
+		}
+		p.update(0x1000, taken)
+	}
+	if rate := float64(mis) / 2000; rate > 0.12 {
+		t.Errorf("mispredict rate %v on a 95%%-biased loop branch, want <= 12%%", rate)
+	}
+}
+
+func TestPredictorLearnsAlternating(t *testing.T) {
+	// A strictly alternating branch defeats bimodal but not gshare; the
+	// tournament must converge to near-perfect prediction.
+	p := newPredictor(12)
+	mis := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		taken := i%2 == 0
+		if p.predict(0x2000) != taken {
+			mis++
+		}
+		p.update(0x2000, taken)
+	}
+	late := 0
+	for i := n; i < n+1000; i++ {
+		taken := i%2 == 0
+		if p.predict(0x2000) != taken {
+			late++
+		}
+		p.update(0x2000, taken)
+	}
+	if late > 50 {
+		t.Errorf("alternating branch still mispredicts %d/1000 after training", late)
+	}
+}
+
+func TestPredictorManyInterleavedLoops(t *testing.T) {
+	// Dozens of loop branches with different periods, interleaved — the
+	// workload-generator pattern. The tournament's bimodal side must
+	// keep the aggregate mispredict rate near the sum of the boundary
+	// frequencies (~1/period), not near 50%.
+	p := newPredictor(12)
+	const branches = 64
+	mis, total := 0, 0
+	counts := [branches]int{}
+	for round := 0; round < 400; round++ {
+		for b := 0; b < branches; b++ {
+			period := 8 + b%24
+			counts[b]++
+			taken := counts[b]%period != 0
+			pc := uint64(0x4000 + b*64)
+			if p.predict(pc) != taken {
+				mis++
+			}
+			total++
+			p.update(pc, taken)
+		}
+	}
+	if rate := float64(mis) / float64(total); rate > 0.20 {
+		t.Errorf("interleaved loop mispredict rate = %v, want <= 20%%", rate)
+	}
+}
+
+func TestPredictorRandomBranchNearHalf(t *testing.T) {
+	p := newPredictor(12)
+	// A deterministic pseudo-random direction stream.
+	x := uint64(0x9e3779b97f4a7c15)
+	mis, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		taken := x&1 == 1
+		if p.predict(0x8000) != taken {
+			mis++
+		}
+		total++
+		p.update(0x8000, taken)
+	}
+	rate := float64(mis) / float64(total)
+	if rate < 0.4 || rate > 0.6 {
+		t.Errorf("random branch mispredict rate = %v, want ~0.5", rate)
+	}
+}

@@ -1,0 +1,213 @@
+package turandot
+
+import (
+	"fmt"
+
+	"github.com/soferr/soferr/internal/isa"
+	"github.com/soferr/soferr/internal/trace"
+	"github.com/soferr/soferr/internal/units"
+)
+
+// Stats aggregates the timing simulator's counters.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+
+	Fetched    uint64
+	Dispatched uint64
+	Issued     uint64
+	Retired    uint64
+
+	Branches    uint64
+	Mispredicts uint64
+
+	L1IHits, L1IMisses uint64
+	L1DHits, L1DMisses uint64
+	L2Hits, L2Misses   uint64
+	ITLBMisses         uint64
+	DTLBMisses         uint64
+
+	StallROB         uint64
+	StallRename      uint64
+	StallMemQ        uint64
+	FetchStallCycles int64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// MispredictRate returns the fraction of branches mispredicted.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// String summarizes the run.
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d insts=%d ipc=%.3f branches=%d mispred=%.1f%% l1d-miss=%d l2-miss=%d",
+		s.Cycles, s.Instructions, s.IPC(), s.Branches, 100*s.MispredictRate(), s.L1DMisses, s.L2Misses)
+}
+
+// Result is the outcome of one simulation: timing statistics plus the
+// per-cycle masking information for the four studied components.
+type Result struct {
+	Config Config
+	Stats  Stats
+
+	// DecodeBusy, IntBusy, and FPBusy record, per cycle, whether the
+	// instruction-decode, integer, and floating-point units were
+	// processing an instruction (Section 4.1's masking rule: a raw
+	// error in an idle unit is masked).
+	DecodeBusy []bool
+	IntBusy    []bool
+	FPBusy     []bool
+
+	// RegLive records, per cycle, the fraction of register-file entries
+	// holding a value that will be read again (an error in any other
+	// entry is masked).
+	RegLive []float64
+}
+
+// busyRecorder accumulates busy bits during simulation with growth.
+type busyRecorder struct {
+	decode []bool
+	intU   []bool
+	fpU    []bool
+}
+
+func newBusyRecorder(instructions int) *busyRecorder {
+	est := instructions * 2
+	if est < 1024 {
+		est = 1024
+	}
+	return &busyRecorder{
+		decode: make([]bool, 0, est),
+		intU:   make([]bool, 0, est),
+		fpU:    make([]bool, 0, est),
+	}
+}
+
+func grow(b []bool, upto int64) []bool {
+	for int64(len(b)) <= upto {
+		b = append(b, false)
+	}
+	return b
+}
+
+func (r *busyRecorder) markDecode(cycle int64) {
+	r.decode = grow(r.decode, cycle)
+	r.decode[cycle] = true
+}
+
+func (r *busyRecorder) markInt(from, to int64) {
+	r.intU = grow(r.intU, to-1)
+	for c := from; c < to; c++ {
+		r.intU[c] = true
+	}
+}
+
+func (r *busyRecorder) markFP(from, to int64) {
+	r.fpU = grow(r.fpU, to-1)
+	for c := from; c < to; c++ {
+		r.fpU[c] = true
+	}
+}
+
+// buildBusy trims the busy bitmaps to the final cycle count.
+func (r *Result) buildBusy(b *busyRecorder, cycles int64) {
+	pad := func(bits []bool) []bool {
+		bits = grow(bits, cycles-1)
+		return bits[:cycles]
+	}
+	r.DecodeBusy = pad(b.decode)
+	r.IntBusy = pad(b.intU)
+	r.FPBusy = pad(b.fpU)
+}
+
+// buildRegLive converts the def/use records into the per-cycle count of
+// live register values: a value is live — and an error in it unmasked —
+// from the cycle it is written until the last cycle it is read (Section
+// 4.1's conservative rule). Values never read contribute nothing.
+func (r *Result) buildRegLive(prog []isa.Inst, wbCycle, lastRead, initLastRead []int64, cycles int64, regFileEntries int) {
+	diff := make([]int32, cycles+1)
+	mark := func(from, to int64) {
+		if to < from {
+			return
+		}
+		if from < 0 {
+			from = 0
+		}
+		if to >= cycles {
+			to = cycles - 1
+		}
+		diff[from]++
+		diff[to+1]--
+	}
+	for id := range prog {
+		if prog[id].Dest == isa.RegNone {
+			continue
+		}
+		if lastRead[id] >= 0 {
+			mark(wbCycle[id], lastRead[id])
+		}
+	}
+	for reg := range initLastRead {
+		if initLastRead[reg] >= 0 {
+			mark(0, initLastRead[reg])
+		}
+	}
+	r.RegLive = make([]float64, cycles)
+	live := int32(0)
+	for c := int64(0); c < cycles; c++ {
+		live += diff[c]
+		f := float64(live) / float64(regFileEntries)
+		if f > 1 {
+			f = 1
+		}
+		r.RegLive[c] = f
+	}
+}
+
+// ComponentTraces bundles the masking traces of the four components
+// studied in Section 4.1.
+type ComponentTraces struct {
+	Decode  *trace.Piecewise
+	Int     *trace.Piecewise
+	FP      *trace.Piecewise
+	RegFile *trace.Piecewise
+}
+
+// Traces converts the per-cycle masking information into masking traces
+// at the base clock (Table 1: 2.0 GHz).
+func (r *Result) Traces() (*ComponentTraces, error) {
+	return r.TracesAt(units.SecondsPerCycle)
+}
+
+// TracesAt converts the masking information using an explicit cycle
+// duration in seconds.
+func (r *Result) TracesAt(cycleSeconds float64) (*ComponentTraces, error) {
+	decode, err := trace.FromBits(r.DecodeBusy, cycleSeconds)
+	if err != nil {
+		return nil, fmt.Errorf("turandot: decode trace: %w", err)
+	}
+	intTr, err := trace.FromBits(r.IntBusy, cycleSeconds)
+	if err != nil {
+		return nil, fmt.Errorf("turandot: int trace: %w", err)
+	}
+	fpTr, err := trace.FromBits(r.FPBusy, cycleSeconds)
+	if err != nil {
+		return nil, fmt.Errorf("turandot: fp trace: %w", err)
+	}
+	reg, err := trace.FromLevels(r.RegLive, cycleSeconds)
+	if err != nil {
+		return nil, fmt.Errorf("turandot: register-file trace: %w", err)
+	}
+	return &ComponentTraces{Decode: decode, Int: intTr, FP: fpTr, RegFile: reg}, nil
+}

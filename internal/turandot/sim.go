@@ -1,0 +1,381 @@
+package turandot
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/soferr/soferr/internal/isa"
+	"github.com/soferr/soferr/internal/mem"
+)
+
+// Sim is a trace-driven out-of-order timing simulator. Create one with
+// New and call Run once per program; a Sim is not safe for concurrent
+// use.
+type Sim struct {
+	cfg  Config
+	hier *mem.Hierarchy
+	bp   *predictor
+}
+
+// New builds a simulator for the given configuration.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := mem.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, fmt.Errorf("turandot: %w", err)
+	}
+	return &Sim{
+		cfg:  cfg,
+		hier: hier,
+		bp:   newPredictor(cfg.PredictorBits),
+	}, nil
+}
+
+// robEntry is one in-flight instruction. The reorder buffer holds
+// consecutive dynamic instruction ids, so id % ROBSize addresses the
+// entry directly.
+type robEntry struct {
+	id       int64
+	class    isa.Class
+	dest     isa.Reg
+	src1Prod int64 // producing instruction id, or -1 if value already ready
+	src2Prod int64
+	issued   bool
+	issueAt  int64
+	doneAt   int64
+	addr     uint64
+	pc       uint64
+}
+
+// fetchSlot is one entry of the fetch/decode queue.
+type fetchSlot struct {
+	idx       int64 // index into the program
+	fetchedAt int64
+}
+
+// maxCyclesPerInst guards against livelock bugs: no realistic program
+// takes 1000 cycles per instruction on this machine.
+const maxCyclesPerInst = 1000
+
+// Run simulates prog to completion and returns the timing result,
+// including the per-cycle masking information of Section 4.1.
+func (s *Sim) Run(prog []isa.Inst) (*Result, error) {
+	if len(prog) == 0 {
+		return nil, errors.New("turandot: empty program")
+	}
+	for i := range prog {
+		if err := prog[i].Validate(); err != nil {
+			return nil, fmt.Errorf("turandot: instruction %d: %w", i, err)
+		}
+	}
+
+	cfg := s.cfg
+	n := int64(len(prog))
+	maxCycles := n*maxCyclesPerInst + 10000
+
+	var (
+		rob     = make([]robEntry, cfg.ROBSize)
+		headID  = int64(0) // oldest in-flight id
+		nextID  = int64(0) // next id to dispatch
+		fetched = int64(0) // next program index to fetch
+
+		fetchQ = make([]fetchSlot, 0, cfg.FetchQueueSize)
+
+		// renameProd[r] is the id of the most recent in-flight or
+		// retired producer of architectural register r, or -1.
+		renameProd [isa.NumRegs + 1]int64
+
+		intDefsInFlight int
+		fpDefsInFlight  int
+		memOpsInFlight  int
+
+		intUnitFree = make([]int64, cfg.IntUnits)
+		fpUnitFree  = make([]int64, cfg.FPUnits)
+		lsUnitFree  = make([]int64, cfg.LSUnits)
+		brUnitFree  = make([]int64, cfg.BrUnits)
+
+		fetchBusyUntil int64 // icache miss / mispredict stall
+		blockingBranch = int64(-1)
+		curFetchLine   = uint64(1<<64 - 1)
+
+		// Per-instruction records for the register-liveness post-pass.
+		wbCycle  = make([]int64, n)
+		lastRead = make([]int64, n)
+		// Reads of pre-existing architectural values.
+		initLastRead [isa.NumRegs + 1]int64
+
+		busy  = newBusyRecorder(int(n))
+		stats Stats
+	)
+	for i := range renameProd {
+		renameProd[i] = -1
+	}
+	for i := range lastRead {
+		lastRead[i] = -1
+	}
+	for i := range initLastRead {
+		initLastRead[i] = -1
+	}
+
+	intRenameCap := cfg.IntRenameRegs - isa.NumIntRegs
+	fpRenameCap := cfg.FPRenameRegs - isa.NumFPRegs
+
+	// ready reports whether producer id's value is available at cycle.
+	ready := func(prod, cycle int64) bool {
+		if prod < 0 || prod < headID {
+			return true // no producer, or producer retired
+		}
+		e := &rob[prod%int64(cfg.ROBSize)]
+		return e.issued && e.doneAt <= cycle
+	}
+
+	retiredAll := func() bool { return headID == n }
+
+	var cycle int64
+	for cycle = 0; cycle < maxCycles; cycle++ {
+		if retiredAll() {
+			break
+		}
+
+		// --- Retire: up to one dispatch group of completed entries, in order.
+		for k := 0; k < cfg.RetireWidth && headID < nextID; k++ {
+			e := &rob[headID%int64(cfg.ROBSize)]
+			if !e.issued || e.doneAt > cycle {
+				break
+			}
+			if e.dest != isa.RegNone {
+				if e.dest.IsInt() {
+					intDefsInFlight--
+				} else {
+					fpDefsInFlight--
+				}
+			}
+			if e.class.IsMem() {
+				memOpsInFlight--
+			}
+			stats.Retired++
+			headID++
+		}
+
+		// --- Issue: oldest-first among dispatched entries with ready
+		// operands and a free unit.
+		for id := headID; id < nextID; id++ {
+			e := &rob[id%int64(cfg.ROBSize)]
+			if e.issued {
+				continue
+			}
+			if !ready(e.src1Prod, cycle) || !ready(e.src2Prod, cycle) {
+				continue
+			}
+			var (
+				pool    []int64
+				latency int64
+				occupy  int64 // how long the unit stays busy (unpipelined ops)
+			)
+			switch e.class {
+			case isa.IntALU:
+				pool, latency, occupy = intUnitFree, int64(cfg.IntALULatency), 1
+			case isa.IntMul:
+				pool, latency, occupy = intUnitFree, int64(cfg.IntMulLatency), 1
+			case isa.IntDiv:
+				pool, latency, occupy = intUnitFree, int64(cfg.IntDivLatency), int64(cfg.IntDivLatency)
+			case isa.FPOp:
+				pool, latency, occupy = fpUnitFree, int64(cfg.FPLatency), 1
+			case isa.FPDiv:
+				pool, latency, occupy = fpUnitFree, int64(cfg.FPDivLatency), 1
+			case isa.Load:
+				pool, latency, occupy = lsUnitFree, 0, 1 // latency from hierarchy below
+			case isa.Store:
+				pool, latency, occupy = lsUnitFree, int64(cfg.StoreLatency), 1
+			case isa.Branch:
+				pool, latency, occupy = brUnitFree, int64(cfg.BranchLatency), 1
+			}
+			unit := -1
+			for u := range pool {
+				if pool[u] <= cycle {
+					unit = u
+					break
+				}
+			}
+			if unit < 0 {
+				continue // structural hazard; try younger ops (other classes)
+			}
+			if e.class == isa.Load {
+				latency = int64(s.hier.DataLatency(e.addr))
+			} else if e.class == isa.Store {
+				// Stores probe the cache for timing state but complete
+				// quickly; their latency is hidden by the store queue.
+				s.hier.DataLatency(e.addr)
+			}
+			pool[unit] = cycle + occupy
+			e.issued = true
+			e.issueAt = cycle
+			e.doneAt = cycle + latency
+			stats.Issued++
+
+			// Record reads for the register-liveness post-pass.
+			recordRead := func(prod int64, reg isa.Reg) {
+				if reg == isa.RegNone {
+					return
+				}
+				if prod < 0 {
+					if cycle > initLastRead[reg] {
+						initLastRead[reg] = cycle
+					}
+				} else if cycle > lastRead[prod] {
+					lastRead[prod] = cycle
+				}
+			}
+			in := &prog[id]
+			recordRead(e.src1Prod, in.Src1)
+			recordRead(e.src2Prod, in.Src2)
+			if e.dest != isa.RegNone {
+				wbCycle[id] = e.doneAt
+			}
+
+			// Busy accounting for the studied units (Section 4.1):
+			// a unit is busy every cycle it is processing an instruction.
+			switch {
+			case e.class.IsInt():
+				busy.markInt(cycle, e.doneAt)
+			case e.class.IsFP():
+				busy.markFP(cycle, e.doneAt)
+			}
+
+			// A resolving branch unblocks fetch after its resolution.
+			if e.class == isa.Branch && id == blockingBranch {
+				if e.doneAt+1 > fetchBusyUntil {
+					fetchBusyUntil = e.doneAt + 1
+				}
+				blockingBranch = -1
+			}
+		}
+
+		// --- Dispatch: move a group from the fetch queue into the ROB.
+		dispatched := 0
+		for dispatched < cfg.DispatchWidth && len(fetchQ) > 0 {
+			slot := fetchQ[0]
+			if slot.fetchedAt >= cycle {
+				break // decode takes one cycle
+			}
+			if nextID-headID >= int64(cfg.ROBSize) {
+				stats.StallROB++
+				break
+			}
+			in := &prog[slot.idx]
+			if in.Dest != isa.RegNone {
+				if in.Dest.IsInt() && intDefsInFlight >= intRenameCap {
+					stats.StallRename++
+					break
+				}
+				if in.Dest.IsFP() && fpDefsInFlight >= fpRenameCap {
+					stats.StallRename++
+					break
+				}
+			}
+			if in.Class.IsMem() && memOpsInFlight >= cfg.MemQueueSize {
+				stats.StallMemQ++
+				break
+			}
+
+			id := nextID
+			e := &rob[id%int64(cfg.ROBSize)]
+			*e = robEntry{
+				id:       id,
+				class:    in.Class,
+				dest:     in.Dest,
+				src1Prod: -1,
+				src2Prod: -1,
+				addr:     in.Addr,
+				pc:       in.PC,
+			}
+			if in.Src1 != isa.RegNone {
+				e.src1Prod = renameProd[in.Src1]
+			}
+			if in.Src2 != isa.RegNone {
+				e.src2Prod = renameProd[in.Src2]
+			}
+			if in.Dest != isa.RegNone {
+				renameProd[in.Dest] = id
+				if in.Dest.IsInt() {
+					intDefsInFlight++
+				} else {
+					fpDefsInFlight++
+				}
+			}
+			if in.Class.IsMem() {
+				memOpsInFlight++
+			}
+			nextID++
+			fetchQ = fetchQ[1:]
+			dispatched++
+			stats.Dispatched++
+		}
+		if dispatched > 0 {
+			busy.markDecode(cycle)
+		}
+
+		// --- Fetch: up to FetchWidth sequential instructions.
+		if blockingBranch < 0 && cycle >= fetchBusyUntil {
+			for w := 0; w < cfg.FetchWidth && fetched < n && len(fetchQ) < cfg.FetchQueueSize; w++ {
+				in := &prog[fetched]
+				line := in.PC >> 7 // 128-byte fetch line
+				if line != curFetchLine {
+					lat := int64(s.hier.FetchLatency(in.PC))
+					curFetchLine = line
+					if lat > int64(cfg.Mem.L1I.LatencyCycles) {
+						// Miss: the line arrives after lat cycles.
+						fetchBusyUntil = cycle + lat
+						stats.FetchStallCycles += lat
+						break
+					}
+				}
+				fetchQ = append(fetchQ, fetchSlot{idx: fetched, fetchedAt: cycle})
+				stats.Fetched++
+				if in.Class == isa.Branch {
+					stats.Branches++
+					pred := s.bp.predict(in.PC)
+					s.bp.update(in.PC, in.Taken)
+					if pred != in.Taken {
+						stats.Mispredicts++
+						blockingBranch = int64(fetched)
+						fetched++
+						break // stall until the branch resolves
+					}
+					if in.Taken {
+						fetched++
+						break // taken branch ends the fetch group
+					}
+				}
+				fetched++
+			}
+		}
+	}
+
+	if !retiredAll() {
+		return nil, fmt.Errorf("turandot: exceeded %d cycles with %d/%d retired (livelock?)",
+			maxCycles, headID, n)
+	}
+
+	stats.Cycles = uint64(cycle)
+	stats.Instructions = uint64(n)
+	s.fillMemStats(&stats)
+
+	res := &Result{
+		Config: cfg,
+		Stats:  stats,
+	}
+	res.buildBusy(busy, cycle)
+	res.buildRegLive(prog, wbCycle, lastRead, initLastRead[:], cycle, cfg.RegFileEntries)
+	return res, nil
+}
+
+func (s *Sim) fillMemStats(st *Stats) {
+	st.L1IHits, st.L1IMisses = s.hier.L1I.Hits(), s.hier.L1I.Misses()
+	st.L1DHits, st.L1DMisses = s.hier.L1D.Hits(), s.hier.L1D.Misses()
+	st.L2Hits, st.L2Misses = s.hier.L2.Hits(), s.hier.L2.Misses()
+	st.ITLBMisses = s.hier.ITLB.Misses()
+	st.DTLBMisses = s.hier.DTLB.Misses()
+}

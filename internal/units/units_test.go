@@ -1,0 +1,91 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rel*m
+}
+
+func TestCycleConversionRoundTrip(t *testing.T) {
+	for _, cycles := range []float64{0, 1, 7, 2e9, 1.5e14} {
+		got := SecondsToCycles(CyclesToSeconds(cycles))
+		if !almostEqual(got, cycles, 1e-12) {
+			t.Errorf("round trip %v -> %v", cycles, got)
+		}
+	}
+}
+
+func TestCycleDuration(t *testing.T) {
+	if got := CyclesToSeconds(CyclesPerSecond); got != 1.0 {
+		t.Errorf("one second of cycles = %v s, want 1", got)
+	}
+	if got := CyclesToSeconds(1); got != 0.5e-9 {
+		t.Errorf("one cycle = %v s, want 0.5ns", got)
+	}
+}
+
+func TestFITConversions(t *testing.T) {
+	// Exact arithmetic: 0.001 FIT = 1e-12 failures/hour = 8.76e-9/year.
+	if got := FITToPerYear(0.001); !almostEqual(got, 8.76e-9, 1e-12) {
+		t.Errorf("0.001 FIT = %v errors/year, want 8.76e-9", got)
+	}
+	// The paper rounds this to 1e-8 errors/year; the baseline constant
+	// follows the paper's stated value, within the same order of magnitude.
+	if ratio := BaselinePerBitPerYear / FITToPerYear(0.001); ratio < 1 || ratio > 1.2 {
+		t.Errorf("baseline/0.001FIT ratio = %v, want within [1, 1.2]", ratio)
+	}
+	if got := PerYearToFIT(FITToPerYear(42.5)); !almostEqual(got, 42.5, 1e-12) {
+		t.Errorf("FIT round trip = %v, want 42.5", got)
+	}
+}
+
+func TestPerYearPerSecondRoundTrip(t *testing.T) {
+	f := func(r float64) bool {
+		r = math.Abs(r)
+		return almostEqual(PerSecondToPerYear(PerYearToPerSecond(r)), r, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponentRate(t *testing.T) {
+	// The paper's Fig 3 cache: 1e9 bits at baseline rate => 10 errors/year.
+	if got := ComponentRatePerYear(1e9, 1); !almostEqual(got, 10, 1e-12) {
+		t.Errorf("1e9-bit cache rate = %v errors/year, want 10", got)
+	}
+	// Scaling factor multiplies linearly (Table 2).
+	if got := ComponentRatePerYear(1e6, 5000); !almostEqual(got, 1e6*5000*1e-8, 1e-12) {
+		t.Errorf("scaled rate = %v", got)
+	}
+}
+
+func TestMTTFFromRate(t *testing.T) {
+	if got := MTTFFromRate(0); !math.IsInf(got, 1) {
+		t.Errorf("MTTF at zero rate = %v, want +Inf", got)
+	}
+	if got := MTTFFromRate(2); got != 0.5 {
+		t.Errorf("MTTF at rate 2 = %v, want 0.5", got)
+	}
+}
+
+func TestHorizonConstants(t *testing.T) {
+	if SecondsPerDay != 86400 {
+		t.Errorf("SecondsPerDay = %v", SecondsPerDay)
+	}
+	if SecondsPerWeek != 7*86400 {
+		t.Errorf("SecondsPerWeek = %v", SecondsPerWeek)
+	}
+	if SecondsPerYear != 365*86400 {
+		t.Errorf("SecondsPerYear = %v", SecondsPerYear)
+	}
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/soferr/soferr/internal/isa"
+)
+
+// PhasedProgram models a long-running program as a sequence of
+// behavioural phases — e.g. a compiler alternating between branchy
+// parsing, pointer-chasing optimization, and tight code emission.
+//
+// Phases are the paper's third key parameter: the AVF+SOFR error
+// depends on "the length of the full execution or the longest repeated
+// phase of the workload" (Section 1). A single Profile produces
+// statistically stationary traces whose effective L is tiny regardless
+// of length; a PhasedProgram produces genuine utilization variation
+// across its period, which is what pushes the error onset to smaller
+// raw-rate x component-count products (see the extphases experiment).
+type PhasedProgram struct {
+	// Name identifies the phased program.
+	Name string
+	// Phases run in order, each contributing Fraction of the dynamic
+	// instructions; the whole sequence is the workload's loop
+	// iteration.
+	Phases []ProgramPhase
+}
+
+// ProgramPhase is one behavioural phase.
+type ProgramPhase struct {
+	// Profile describes the phase's behaviour.
+	Profile Profile
+	// Fraction is the share of dynamic instructions (normalized across
+	// phases).
+	Fraction float64
+}
+
+// Validate reports structural errors.
+func (pp PhasedProgram) Validate() error {
+	if pp.Name == "" {
+		return fmt.Errorf("workload: phased program without name")
+	}
+	if len(pp.Phases) < 2 {
+		return fmt.Errorf("workload: %s: need at least 2 phases", pp.Name)
+	}
+	total := 0.0
+	for i, ph := range pp.Phases {
+		if err := ph.Profile.Validate(); err != nil {
+			return fmt.Errorf("workload: %s phase %d: %w", pp.Name, i, err)
+		}
+		if ph.Fraction <= 0 {
+			return fmt.Errorf("workload: %s phase %d: non-positive fraction", pp.Name, i)
+		}
+		total += ph.Fraction
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload: %s: zero total fraction", pp.Name)
+	}
+	return nil
+}
+
+// Generate produces n dynamic instructions walking the phases in order.
+// Each phase's code occupies a distinct address range so the phases
+// behave like separate program sections in the instruction cache and
+// branch predictor.
+func (pp PhasedProgram) Generate(n int, seed uint64) ([]isa.Inst, error) {
+	if err := pp.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: need n > 0, got %d", n)
+	}
+	total := 0.0
+	for _, ph := range pp.Phases {
+		total += ph.Fraction
+	}
+	prog := make([]isa.Inst, 0, n)
+	codeBase := uint64(0)
+	emitted := 0
+	for i, ph := range pp.Phases {
+		count := int(float64(n) * ph.Fraction / total)
+		if i == len(pp.Phases)-1 {
+			count = n - emitted // absorb rounding in the last phase
+		}
+		if count <= 0 {
+			continue
+		}
+		chunk, err := ph.Profile.Generate(count, seed+uint64(i)*0x9e37)
+		if err != nil {
+			return nil, err
+		}
+		for j := range chunk {
+			chunk[j].PC += codeBase
+		}
+		prog = append(prog, chunk...)
+		emitted += count
+		codeBase += ph.Profile.CodeFootprint
+	}
+	return prog, nil
+}
+
+// PhasedPrograms returns the built-in phased workloads: an integer
+// program alternating compiler-like phases and a floating-point program
+// alternating solver-like phases.
+func PhasedPrograms() []PhasedProgram {
+	byName := func(n string) Profile {
+		p, err := ByName(n)
+		if err != nil {
+			panic("workload: built-in profile missing: " + n)
+		}
+		return p
+	}
+	return []PhasedProgram{
+		{
+			Name: "phased-int",
+			Phases: []ProgramPhase{
+				{Profile: byName("gcc"), Fraction: 0.4},  // branchy front end
+				{Profile: byName("mcf"), Fraction: 0.3},  // pointer-chasing middle
+				{Profile: byName("gzip"), Fraction: 0.3}, // tight back end
+			},
+		},
+		{
+			Name: "phased-fp",
+			Phases: []ProgramPhase{
+				{Profile: byName("fma3d"), Fraction: 0.4}, // assembly phase
+				{Profile: byName("swim"), Fraction: 0.4},  // streaming solve
+				{Profile: byName("ammp"), Fraction: 0.2},  // irregular update
+			},
+		},
+	}
+}
+
+// PhasedByName returns the built-in phased program with the given name.
+func PhasedByName(name string) (PhasedProgram, error) {
+	for _, pp := range PhasedPrograms() {
+		if pp.Name == name {
+			return pp, nil
+		}
+	}
+	return PhasedProgram{}, fmt.Errorf("workload: unknown phased program %q", name)
+}

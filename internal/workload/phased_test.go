@@ -1,0 +1,153 @@
+package workload
+
+import "testing"
+
+func TestPhasedProgramsBuiltins(t *testing.T) {
+	pps := PhasedPrograms()
+	if len(pps) != 2 {
+		t.Fatalf("built-ins = %d, want 2", len(pps))
+	}
+	for _, pp := range pps {
+		if err := pp.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", pp.Name, err)
+		}
+	}
+	if _, err := PhasedByName("phased-int"); err != nil {
+		t.Error(err)
+	}
+	if _, err := PhasedByName("nope"); err == nil {
+		t.Error("unknown phased program accepted")
+	}
+}
+
+func TestPhasedGenerateCounts(t *testing.T) {
+	pp, err := PhasedByName("phased-int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30000
+	prog, err := pp.Generate(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != n {
+		t.Fatalf("generated %d, want %d", len(prog), n)
+	}
+	for i := range prog {
+		if err := prog[i].Validate(); err != nil {
+			t.Fatalf("instruction %d: %v", i, err)
+		}
+	}
+}
+
+func TestPhasedCodeRangesDisjoint(t *testing.T) {
+	pp, err := PhasedByName("phased-int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30000
+	prog, err := pp.Generate(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase boundaries: instructions from different phases must use
+	// disjoint PC ranges.
+	f0 := pp.Phases[0].Fraction / (pp.Phases[0].Fraction + pp.Phases[1].Fraction + pp.Phases[2].Fraction)
+	cut := int(float64(n) * f0)
+	maxPhase0 := uint64(0)
+	for i := 0; i < cut; i++ {
+		if prog[i].PC > maxPhase0 {
+			maxPhase0 = prog[i].PC
+		}
+	}
+	minPhase1 := ^uint64(0)
+	for i := cut; i < cut+1000; i++ {
+		if prog[i].PC < minPhase1 {
+			minPhase1 = prog[i].PC
+		}
+	}
+	if minPhase1 <= maxPhase0 {
+		t.Errorf("phase PC ranges overlap: phase0 max %#x, phase1 min %#x", maxPhase0, minPhase1)
+	}
+}
+
+func TestPhasedUtilizationVaries(t *testing.T) {
+	// The point of phases: the instruction mix — and hence unit
+	// utilization — must differ across phases.
+	pp, err := PhasedByName("phased-fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30000
+	prog, err := pp.Generate(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countFP := func(lo, hi int) float64 {
+		fp := 0
+		for i := lo; i < hi; i++ {
+			if prog[i].Class.IsFP() {
+				fp++
+			}
+		}
+		return float64(fp) / float64(hi-lo)
+	}
+	firstPhase := countFP(0, n/5)
+	lastPhase := countFP(4*n/5, n)
+	if firstPhase == lastPhase {
+		t.Error("FP fraction identical across phases; phases not differentiating")
+	}
+}
+
+func TestPhasedValidation(t *testing.T) {
+	if err := (PhasedProgram{Name: "x"}).Validate(); err == nil {
+		t.Error("no phases accepted")
+	}
+	p, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := PhasedProgram{
+		Name: "bad",
+		Phases: []ProgramPhase{
+			{Profile: p, Fraction: 1},
+			{Profile: p, Fraction: -1},
+		},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := bad.Generate(100, 1); err == nil {
+		t.Error("Generate on invalid program accepted")
+	}
+	good := PhasedProgram{
+		Name: "ok",
+		Phases: []ProgramPhase{
+			{Profile: p, Fraction: 1},
+			{Profile: p, Fraction: 1},
+		},
+	}
+	if _, err := good.Generate(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestPhasedDeterministic(t *testing.T) {
+	pp, err := PhasedByName("phased-int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pp.Generate(5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pp.Generate(5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/soferr/soferr/internal/trace"
+	"github.com/soferr/soferr/internal/units"
+)
+
+// The three synthesized long-horizon workloads of Section 4.2. Their
+// loop sizes (24 hours, one week) are what stress the AVF+SOFR
+// assumptions: utilization varies over time scales far beyond anything
+// SPEC exhibits.
+
+// Day returns the "day" workload: a 24-hour loop, busy during the day
+// (the first half) and idle at night.
+func Day() (*trace.Piecewise, error) {
+	return trace.BusyIdle(units.SecondsPerDay, units.SecondsPerDay/2)
+}
+
+// Week returns the "week" workload: a one-week loop, busy for the five
+// business days and idle over the weekend.
+func Week() (*trace.Piecewise, error) {
+	return trace.BusyIdle(units.SecondsPerWeek, 5*units.SecondsPerDay)
+}
+
+// Combined returns the "combined" workload: a 24-hour loop whose first
+// half repeats benchmark trace a and whose second half repeats benchmark
+// trace b. The benchmark traces are processor-level masking traces with
+// sub-second periods, so the result is represented lazily.
+func Combined(a, b *trace.Piecewise) (*trace.LongLoop, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("workload: Combined needs two benchmark traces")
+	}
+	const half = units.SecondsPerDay / 2
+	if a.Period() > half || b.Period() > half {
+		return nil, fmt.Errorf("workload: benchmark periods (%v, %v) exceed half a day", a.Period(), b.Period())
+	}
+	return trace.NewLongLoop(
+		trace.LoopPhase{Inner: a, Reps: trace.RepeatFor(a, half)},
+		trace.LoopPhase{Inner: b, Reps: trace.RepeatFor(b, half)},
+	)
+}

@@ -1,0 +1,345 @@
+// Package workload generates the workloads of Section 4: synthetic
+// instruction traces standing in for the SPEC CPU2000 suite, and the
+// long-horizon utilization schedules (day, week, combined) used to probe
+// the AVF+SOFR assumptions at large time scales.
+//
+// Real SPEC traces are not redistributable, so each benchmark is
+// replaced by a deterministic synthetic generator parameterized by
+// instruction mix, register-dependency locality, branch predictability,
+// and memory footprint/locality. The AVF+SOFR analysis consumes only the
+// per-component utilization statistics of the resulting masking traces,
+// which these parameters control directly, so the substitution preserves
+// the behaviour the paper's experiments depend on (see DESIGN.md).
+package workload
+
+import (
+	"fmt"
+
+	"github.com/soferr/soferr/internal/isa"
+	"github.com/soferr/soferr/internal/xrand"
+)
+
+// Suite labels a benchmark as integer or floating point.
+type Suite int
+
+// Suites of SPEC CPU2000.
+const (
+	SuiteInt Suite = iota + 1
+	SuiteFP
+)
+
+// String returns "int" or "fp".
+func (s Suite) String() string {
+	switch s {
+	case SuiteInt:
+		return "int"
+	case SuiteFP:
+		return "fp"
+	default:
+		return fmt.Sprintf("Suite(%d)", int(s))
+	}
+}
+
+// Mix is an instruction-class mixture. Fields need not sum exactly to 1;
+// they are normalized during generation.
+type Mix struct {
+	IntALU float64
+	IntMul float64
+	IntDiv float64
+	FPOp   float64
+	FPDiv  float64
+	Load   float64
+	Store  float64
+	Branch float64
+}
+
+func (m Mix) total() float64 {
+	return m.IntALU + m.IntMul + m.IntDiv + m.FPOp + m.FPDiv + m.Load + m.Store + m.Branch
+}
+
+// Profile describes one synthetic benchmark.
+type Profile struct {
+	// Name is the benchmark name (SPEC CPU2000 naming).
+	Name string
+	// Suite is the SPEC suite the profile models.
+	Suite Suite
+	// Mix is the instruction-class mixture.
+	Mix Mix
+	// DepP is the geometric parameter of register-dependency distance:
+	// larger means tighter dependency chains (less ILP).
+	DepP float64
+	// RandomBranchFrac is the fraction of branch instructions with
+	// data-dependent (unpredictable) outcomes; the rest follow a strong
+	// bias and predict well.
+	RandomBranchFrac float64
+	// TakenBias is the taken probability of predictable branches.
+	TakenBias float64
+	// DataFootprint is the data working-set size in bytes.
+	DataFootprint uint64
+	// StrideFrac is the fraction of memory accesses that walk
+	// sequentially; the rest are uniform over the footprint.
+	StrideFrac float64
+	// CodeFootprint is the static code size in bytes; instruction
+	// addresses loop over it.
+	CodeFootprint uint64
+}
+
+// Validate reports profile errors.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile without name")
+	}
+	if p.Mix.total() <= 0 {
+		return fmt.Errorf("workload: %s: empty mix", p.Name)
+	}
+	if p.DepP <= 0 || p.DepP > 1 {
+		return fmt.Errorf("workload: %s: DepP %v outside (0,1]", p.Name, p.DepP)
+	}
+	if p.RandomBranchFrac < 0 || p.RandomBranchFrac > 1 {
+		return fmt.Errorf("workload: %s: RandomBranchFrac %v outside [0,1]", p.Name, p.RandomBranchFrac)
+	}
+	if p.TakenBias < 0 || p.TakenBias > 1 {
+		return fmt.Errorf("workload: %s: TakenBias %v outside [0,1]", p.Name, p.TakenBias)
+	}
+	if p.DataFootprint < 4096 {
+		return fmt.Errorf("workload: %s: DataFootprint %d too small", p.Name, p.DataFootprint)
+	}
+	if p.CodeFootprint < 256 {
+		return fmt.Errorf("workload: %s: CodeFootprint %d too small", p.Name, p.CodeFootprint)
+	}
+	return nil
+}
+
+// staticSlot is one instruction of the synthetic loop body. Classes,
+// registers, and behaviour are fixed per slot — as in real code — while
+// branch outcomes and some memory addresses vary per dynamic instance.
+type staticSlot struct {
+	class isa.Class
+	dest  isa.Reg
+	src1  isa.Reg
+	src2  isa.Reg
+
+	// Memory slots: strided slots walk one of a small set of shared
+	// sequential streams (like array traversals); the rest are uniform
+	// over the footprint.
+	strided bool
+	stream  int
+
+	// Branch slots: predictable slots behave like loop branches — taken
+	// except once every period iterations (or the inverse for
+	// exit-style branches) — which is the history structure real
+	// predictors exploit; random slots are data-dependent 50/50.
+	random   bool
+	inverted bool
+	period   uint32
+	phase    uint32
+	count    uint32
+}
+
+// numStreams is the number of concurrent sequential access streams
+// (array traversals) a workload sustains.
+const numStreams = 8
+
+// Generate produces n dynamic instructions deterministically from the
+// profile and seed.
+//
+// Generation is two-phase, mirroring how real programs behave: first a
+// static loop body of CodeFootprint/4 instructions is synthesized (fixed
+// class, registers, and memory/branch behaviour per PC), then the
+// dynamic trace walks that body repeatedly. Static structure is what
+// lets the simulated branch predictor and caches behave as they would on
+// real code.
+func (p Profile) Generate(n int, seed uint64) ([]isa.Inst, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: need n > 0, got %d", n)
+	}
+	r := xrand.New(seed ^ hashName(p.Name))
+	body := p.buildBody(r)
+
+	footprintWords := p.DataFootprint / 8
+	const dataBase = uint64(0x1000_0000)
+	var streams [numStreams]uint64
+	for s := range streams {
+		streams[s] = uint64(r.Intn(int(footprintWords)))
+	}
+	prog := make([]isa.Inst, n)
+	for i := 0; i < n; i++ {
+		slot := &body[i%len(body)]
+		in := &prog[i]
+		in.PC = uint64(i%len(body)) * 4
+		in.Class = slot.class
+		in.Dest = slot.dest
+		in.Src1 = slot.src1
+		in.Src2 = slot.src2
+		switch {
+		case slot.class.IsMem():
+			var word uint64
+			if slot.strided {
+				streams[slot.stream] = (streams[slot.stream] + 1) % footprintWords
+				word = streams[slot.stream]
+			} else {
+				word = uint64(r.Intn(int(footprintWords)))
+			}
+			in.Addr = dataBase + word*8
+		case slot.class == isa.Branch:
+			if slot.random {
+				in.Taken = r.Bool(0.5)
+			} else {
+				slot.count++
+				atBoundary := (slot.count+slot.phase)%slot.period == 0
+				in.Taken = atBoundary == slot.inverted
+			}
+		}
+	}
+	return prog, nil
+}
+
+// buildBody synthesizes the static loop body.
+func (p Profile) buildBody(r *xrand.Rand) []staticSlot {
+	codeWords := int(p.CodeFootprint / 4)
+
+	// Stratified class assignment: exact mix up to rounding, then
+	// shuffled deterministically.
+	classes := []isa.Class{
+		isa.IntALU, isa.IntMul, isa.IntDiv, isa.FPOp,
+		isa.FPDiv, isa.Load, isa.Store, isa.Branch,
+	}
+	weights := []float64{
+		p.Mix.IntALU, p.Mix.IntMul, p.Mix.IntDiv, p.Mix.FPOp,
+		p.Mix.FPDiv, p.Mix.Load, p.Mix.Store, p.Mix.Branch,
+	}
+	total := p.Mix.total()
+	assigned := make([]isa.Class, 0, codeWords)
+	for ci, w := range weights {
+		count := int(w / total * float64(codeWords))
+		for k := 0; k < count; k++ {
+			assigned = append(assigned, classes[ci])
+		}
+	}
+	for len(assigned) < codeWords {
+		assigned = append(assigned, isa.IntALU) // rounding remainder
+	}
+	assigned = assigned[:codeWords]
+	perm := r.Perm(codeWords)
+	shuffled := make([]isa.Class, codeWords)
+	for i, j := range perm {
+		shuffled[j] = assigned[i]
+	}
+
+	// Register assignment: a writable window per class plus a few
+	// read-only registers (stack/global pointers) that are read but
+	// never redefined.
+	const (
+		writableInt = 24
+		writableFP  = 24
+		readOnly    = 4
+	)
+	var (
+		recentInt []isa.Reg
+		recentFP  []isa.Reg
+		intRR     int
+		fpRR      int
+	)
+	destInt := func() isa.Reg {
+		reg := isa.IntReg(readOnly + intRR%writableInt)
+		intRR++
+		recentInt = append(recentInt, reg)
+		if len(recentInt) > writableInt {
+			recentInt = recentInt[1:]
+		}
+		return reg
+	}
+	destFP := func() isa.Reg {
+		reg := isa.FPReg(readOnly + fpRR%writableFP)
+		fpRR++
+		recentFP = append(recentFP, reg)
+		if len(recentFP) > writableFP {
+			recentFP = recentFP[1:]
+		}
+		return reg
+	}
+	srcFrom := func(recent []isa.Reg, readOnlyBase func(int) isa.Reg) isa.Reg {
+		if len(recent) == 0 || r.Bool(0.06) {
+			return readOnlyBase(r.Intn(readOnly))
+		}
+		d := r.Geometric(p.DepP)
+		if d > len(recent) {
+			d = len(recent)
+		}
+		return recent[len(recent)-d]
+	}
+	srcInt := func() isa.Reg { return srcFrom(recentInt, isa.IntReg) }
+	srcFP := func() isa.Reg { return srcFrom(recentFP, isa.FPReg) }
+
+	body := make([]staticSlot, codeWords)
+	for i := range body {
+		s := &body[i]
+		s.class = shuffled[i]
+		switch s.class {
+		case isa.IntALU, isa.IntMul, isa.IntDiv:
+			s.src1 = srcInt()
+			s.src2 = srcInt()
+			s.dest = destInt()
+		case isa.FPOp, isa.FPDiv:
+			s.src1 = srcFP()
+			s.src2 = srcFP()
+			s.dest = destFP()
+		case isa.Load:
+			s.src1 = srcInt() // address register
+			if p.Suite == SuiteFP && r.Bool(0.7) {
+				s.dest = destFP()
+			} else {
+				s.dest = destInt()
+			}
+			s.strided = r.Bool(p.StrideFrac)
+			s.stream = r.Intn(numStreams)
+		case isa.Store:
+			s.src1 = srcInt() // address register
+			if p.Suite == SuiteFP && r.Bool(0.7) {
+				s.src2 = srcFP()
+			} else {
+				s.src2 = srcInt()
+			}
+			s.strided = r.Bool(p.StrideFrac)
+			s.stream = r.Intn(numStreams)
+		case isa.Branch:
+			s.src1 = srcInt()
+			s.random = r.Bool(p.RandomBranchFrac)
+			if !s.random {
+				// Loop trip count derived from the bias: a branch taken
+				// with probability b corresponds to a loop of about
+				// 1/(1-b) iterations.
+				trip := int(1/(1-p.TakenBias) + 0.5)
+				if trip < 2 {
+					trip = 2
+				}
+				if trip > 64 {
+					trip = 64
+				}
+				// Vary trip counts across slots around the profile mean.
+				trip += r.Intn(trip/2+1) - trip/4
+				if trip < 2 {
+					trip = 2
+				}
+				s.period = uint32(trip)
+				s.phase = uint32(r.Intn(trip))
+				s.inverted = r.Bool(0.15) // some exit-style branches
+			}
+		}
+	}
+	return body
+}
+
+// hashName folds a benchmark name into the seed so that different
+// benchmarks with the same user seed produce unrelated streams.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

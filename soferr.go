@@ -1,0 +1,255 @@
+package soferr
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/soferr/soferr/internal/analytic"
+	"github.com/soferr/soferr/internal/avf"
+	"github.com/soferr/soferr/internal/montecarlo"
+	"github.com/soferr/soferr/internal/sofr"
+	"github.com/soferr/soferr/internal/softarch"
+	"github.com/soferr/soferr/internal/trace"
+	"github.com/soferr/soferr/internal/units"
+	"github.com/soferr/soferr/internal/workload"
+)
+
+// Trace is a masking trace: an infinitely repeating description of when
+// a raw soft error striking a component would be masked. All times are
+// seconds; the instantaneous vulnerability is a probability in [0, 1],
+// and its time-average over one period is the component's AVF.
+type Trace interface {
+	// Period returns the workload loop length in seconds.
+	Period() float64
+	// AVF returns the architecture vulnerability factor.
+	AVF() float64
+	// VulnAt returns the probability that a raw error arriving at time
+	// t is unmasked.
+	VulnAt(t float64) float64
+	// SurvivalIntegral returns the one-period survival integral and
+	// total exposure for a raw error process of the given rate in
+	// errors/second; see the softarch documentation for the math.
+	SurvivalIntegral(rate float64) (integral, exposure float64)
+}
+
+// Interval is a half-open vulnerable time span [Start, End) in seconds.
+type Interval struct {
+	Start float64
+	End   float64
+}
+
+// Component is one failure source: a raw soft error process, in
+// errors/year (the paper's convention; 1e-8 errors/year per bit is the
+// terrestrial baseline), filtered by a masking trace.
+type Component struct {
+	// Name labels the component in error messages.
+	Name string
+	// RatePerYear is the raw (pre-masking) soft error rate.
+	RatePerYear float64
+	// Trace is the component's masking trace.
+	Trace Trace
+}
+
+// BusyIdleTrace returns a trace for the paper's canonical synthetic
+// loop: vulnerable for the first busy seconds of every period-second
+// iteration, masked for the remainder.
+func BusyIdleTrace(period, busy float64) (Trace, error) {
+	return trace.BusyIdle(period, busy)
+}
+
+// PeriodicTrace returns a 0/1 trace with the given vulnerable intervals
+// inside each period.
+func PeriodicTrace(period float64, vulnerable []Interval) (Trace, error) {
+	ivs := make([]trace.Interval, len(vulnerable))
+	for i, v := range vulnerable {
+		ivs[i] = trace.Interval{Start: v.Start, End: v.End}
+	}
+	return trace.Periodic(period, ivs)
+}
+
+// TraceFromBits returns a cycle-granularity trace: bit i covers
+// [i, i+1) * cycleSeconds and is vulnerable when true.
+func TraceFromBits(bits []bool, cycleSeconds float64) (Trace, error) {
+	return trace.FromBits(bits, cycleSeconds)
+}
+
+// TraceFromLevels returns a trace from per-cycle vulnerability levels
+// in [0, 1] (e.g. the live fraction of a register file).
+func TraceFromLevels(levels []float64, cycleSeconds float64) (Trace, error) {
+	return trace.FromLevels(levels, cycleSeconds)
+}
+
+// DayWorkload returns the paper's "day" schedule: a 24-hour loop, busy
+// during the day and idle at night (Section 4.2).
+func DayWorkload() (Trace, error) { return workload.Day() }
+
+// WeekWorkload returns the paper's "week" schedule: busy five business
+// days, idle on the weekend.
+func WeekWorkload() (Trace, error) { return workload.Week() }
+
+// CombinedWorkload returns the paper's "combined" schedule: a 24-hour
+// loop whose halves repeat two benchmark traces (typically obtained
+// from SimulateBenchmark). Both traces must be materialized traces as
+// produced by this package.
+func CombinedWorkload(a, b Trace) (Trace, error) {
+	pa, ok := a.(*trace.Piecewise)
+	if !ok {
+		return nil, fmt.Errorf("soferr: combined workload needs materialized traces, got %T", a)
+	}
+	pb, ok := b.(*trace.Piecewise)
+	if !ok {
+		return nil, fmt.Errorf("soferr: combined workload needs materialized traces, got %T", b)
+	}
+	return workload.Combined(pa, pb)
+}
+
+// UnionTrace merges component unit traces into a single trace using the
+// components' raw rates as weights; the union is exact for both the
+// Monte-Carlo and SoftArch estimators (Poisson superposition). All
+// traces must be materialized and share one period. The returned
+// component carries the summed rate.
+func UnionTrace(components []Component) (Component, error) {
+	if len(components) == 0 {
+		return Component{}, errors.New("soferr: union of no components")
+	}
+	weights := make([]float64, len(components))
+	pieces := make([]*trace.Piecewise, len(components))
+	total := 0.0
+	for i, c := range components {
+		p, ok := c.Trace.(*trace.Piecewise)
+		if !ok {
+			return Component{}, fmt.Errorf("soferr: component %s: union needs materialized traces, got %T", c.Name, c.Trace)
+		}
+		pieces[i] = p
+		weights[i] = c.RatePerYear
+		total += c.RatePerYear
+	}
+	u, err := trace.WeightedUnion(weights, pieces)
+	if err != nil {
+		return Component{}, err
+	}
+	return Component{Name: "union", RatePerYear: total, Trace: u}, nil
+}
+
+// ShiftTrace returns a copy of a materialized trace delayed by offset
+// seconds (wrapped into the period). Phase shifts model staggered or
+// time-zoned fleets: the paper's cluster analysis assumes all
+// components run in phase, which is the worst case for SOFR, and
+// shifting lets users quantify how fast SOFR recovers as phases
+// decorrelate.
+func ShiftTrace(tr Trace, offset float64) (Trace, error) {
+	p, ok := tr.(*trace.Piecewise)
+	if !ok {
+		return nil, fmt.Errorf("soferr: ShiftTrace needs a materialized trace, got %T", tr)
+	}
+	return trace.Shift(p, offset)
+}
+
+// AVF returns the architecture vulnerability factor of a trace.
+func AVF(tr Trace) float64 { return tr.AVF() }
+
+// AVFMTTF applies the AVF step (Equation 1 of the paper): it returns
+// 1/(rate x AVF) in seconds for a component with the given raw rate in
+// errors/year.
+func AVFMTTF(ratePerYear float64, tr Trace) (float64, error) {
+	if tr == nil {
+		return 0, errors.New("soferr: nil trace")
+	}
+	return avf.MTTF(units.PerYearToPerSecond(ratePerYear), tr.AVF())
+}
+
+// SOFRMTTF applies the SOFR step (Equations 2-3): the system MTTF, in
+// seconds, of a series system with the given component MTTFs in
+// seconds.
+func SOFRMTTF(componentMTTFs []float64) (float64, error) {
+	return sofr.SystemMTTF(componentMTTFs)
+}
+
+// MonteCarloOptions tunes MonteCarloMTTF.
+type MonteCarloOptions struct {
+	// Trials is the number of independent trials (default 200000).
+	Trials int
+	// Seed makes runs reproducible; equal seeds give identical results.
+	Seed uint64
+}
+
+// MonteCarloResult is a first-principles MTTF estimate.
+type MonteCarloResult struct {
+	// MTTF is the estimated mean time to failure in seconds.
+	MTTF float64
+	// StdErr is the standard error of the estimate.
+	StdErr float64
+	// Trials is the number of trials used.
+	Trials int
+}
+
+// MonteCarloMTTF estimates the series-system MTTF from first principles
+// (Section 4.3 of the paper): exponential raw-error arrivals filtered
+// by each component's masking trace, with no AVF or SOFR assumption.
+func MonteCarloMTTF(components []Component, opt MonteCarloOptions) (MonteCarloResult, error) {
+	mcs, err := toMonteCarlo(components)
+	if err != nil {
+		return MonteCarloResult{}, err
+	}
+	res, err := montecarlo.SystemMTTF(mcs, montecarlo.Config{
+		Trials: opt.Trials,
+		Seed:   opt.Seed,
+	})
+	if err != nil {
+		return MonteCarloResult{}, err
+	}
+	return MonteCarloResult{MTTF: res.MTTF, StdErr: res.StdErr, Trials: res.Trials}, nil
+}
+
+// SoftArchMTTF computes the exact first-principles MTTF, in seconds, of
+// a series system via the SoftArch-style survival model (Section 5.4).
+// It returns +Inf if no component can ever fail.
+func SoftArchMTTF(components []Component) (float64, error) {
+	sas := make([]softarch.Component, len(components))
+	for i, c := range components {
+		if c.Trace == nil {
+			return 0, fmt.Errorf("soferr: component %s has nil trace", c.Name)
+		}
+		sas[i] = softarch.Component{
+			Name:  c.Name,
+			Rate:  units.PerYearToPerSecond(c.RatePerYear),
+			Trace: c.Trace,
+		}
+	}
+	return softarch.SystemMTTF(sas)
+}
+
+// BusyIdleMTTF returns the exact MTTF, in seconds, of a component with
+// raw rate ratePerYear (errors/year) running the busy/idle loop —
+// Derivation 1 of the paper, the closed form behind Figure 3.
+func BusyIdleMTTF(ratePerYear, period, busy float64) (float64, error) {
+	return analytic.BusyIdleMTTF(units.PerYearToPerSecond(ratePerYear), period, busy)
+}
+
+// BusyIdleAVFError returns the relative error of the AVF step on the
+// busy/idle loop: one point of the paper's Figure 3.
+func BusyIdleAVFError(ratePerYear, period, busy float64) (float64, error) {
+	return analytic.BusyIdleAVFError(units.PerYearToPerSecond(ratePerYear), period, busy)
+}
+
+// SeriesHalfGaussianSOFRError returns the relative error of the SOFR
+// step for a series system of n components with half-Gaussian time to
+// failure: one point of the paper's Figure 4.
+func SeriesHalfGaussianSOFRError(n int) (float64, error) {
+	return analytic.SeriesHalfGaussianSOFRError(n)
+}
+
+func toMonteCarlo(components []Component) ([]montecarlo.Component, error) {
+	out := make([]montecarlo.Component, len(components))
+	for i, c := range components {
+		if c.Trace == nil {
+			return nil, fmt.Errorf("soferr: component %s has nil trace", c.Name)
+		}
+		out[i] = montecarlo.Component{
+			Name:  c.Name,
+			Rate:  units.PerYearToPerSecond(c.RatePerYear),
+			Trace: c.Trace,
+		}
+	}
+	return out, nil
+}
