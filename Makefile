@@ -1,0 +1,32 @@
+# Developer entry points. CI runs the same verify steps (see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test vet verify bench bench-go clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+verify: vet build test
+
+# bench records the Monte-Carlo engine micro-benchmarks in
+# BENCH_mc.json so the perf trajectory is tracked PR over PR.
+bench:
+	$(GO) run ./cmd/soferr bench -out BENCH_mc.json
+
+# bench-go runs the full go-test benchmark suite (experiments +
+# substrates) without writing the JSON report.
+bench-go:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+clean:
+	$(GO) clean ./...

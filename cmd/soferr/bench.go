@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/soferr/soferr"
+	"github.com/soferr/soferr/internal/montecarlo"
+	"github.com/soferr/soferr/internal/trace"
+	"github.com/soferr/soferr/internal/units"
+)
+
+// benchEntry is one recorded micro-benchmark measurement.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Engine      string  `json:"engine"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchReport is the schema of BENCH_mc.json: the Monte-Carlo substrate
+// micro-benchmarks per engine, plus the headline speedups, so the perf
+// trajectory is recorded alongside the code from PR 1 onward.
+type benchReport struct {
+	GoVersion  string             `json:"go_version"`
+	GOARCH     string             `json:"goarch"`
+	Benchmarks []benchEntry       `json:"benchmarks"`
+	Speedup    map[string]float64 `json:"speedup_inverted_vs_superposed"`
+}
+
+// runBench measures Monte-Carlo trial cost per engine on the two
+// workloads the acceptance benchmarks use — the day schedule
+// (BenchmarkMonteCarloTrials) and a simulator-derived SPEC trace
+// (BenchmarkMonteCarloSPECTrace) — and writes the JSON report.
+func runBench(stdout, stderr io.Writer, outPath string, verbose bool) error {
+	logf := func(format string, args ...interface{}) {
+		if verbose {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+
+	// Low-duty-cycle loop (busy 1h per 24h day, AVF ~ 0.04): the
+	// low-AVF regime where arrival-enumerating engines reject ~1/AVF
+	// raw arrivals per trial. Mirrors BenchmarkMonteCarloTrials.
+	batch, err := trace.BusyIdle(24*3600, 3600)
+	if err != nil {
+		return err
+	}
+
+	// The same trace BenchmarkMonteCarloSPECTrace measures, built
+	// through the same public entry point.
+	logf("simulating gzip for the SPEC trace")
+	simRes, err := soferr.SimulateBenchmark("gzip", 50000, 1)
+	if err != nil {
+		return err
+	}
+
+	cases := []struct {
+		name string
+		comp montecarlo.Component
+	}{
+		{"MonteCarloTrials", montecarlo.Component{
+			Name: "batch", Rate: 1e-4, Trace: batch,
+		}},
+		{"MonteCarloSPECTrace", montecarlo.Component{
+			Name: "int", Rate: units.PerYearToPerSecond(1e6), Trace: simRes.Int,
+		}},
+	}
+	engines := []montecarlo.Engine{montecarlo.Superposed, montecarlo.Naive, montecarlo.Inverted}
+
+	report := benchReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Speedup:   make(map[string]float64),
+	}
+	nsPerOp := make(map[string]map[string]float64)
+	for _, c := range cases {
+		nsPerOp[c.name] = make(map[string]float64)
+		for _, e := range engines {
+			comp, engine := c.comp, e
+			logf("bench %s/%s", c.name, e)
+			var benchErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				if _, err := montecarlo.ComponentMTTF(comp, montecarlo.Config{
+					Trials: b.N, Seed: 1, Engine: engine,
+				}); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			})
+			// b.Fatal aborts the benchmark goroutine and Benchmark
+			// returns a zero-N result; surface the failure instead of
+			// recording Inf/NaN.
+			if benchErr != nil {
+				return fmt.Errorf("bench %s/%s: %w", c.name, engine, benchErr)
+			}
+			if r.N == 0 {
+				return fmt.Errorf("bench %s/%s: benchmark produced no iterations", c.name, engine)
+			}
+			entry := benchEntry{
+				Name:        c.name,
+				Engine:      e.String(),
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Iterations:  r.N,
+			}
+			report.Benchmarks = append(report.Benchmarks, entry)
+			nsPerOp[c.name][e.String()] = entry.NsPerOp
+			fmt.Fprintf(stdout, "%-22s %-11s %14.1f ns/op %6d B/op %4d allocs/op\n",
+				c.name, e.String(), entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp)
+		}
+		report.Speedup[c.name] = nsPerOp[c.name]["superposed"] / nsPerOp[c.name]["inverted"]
+		fmt.Fprintf(stdout, "%-22s inverted is %.1fx faster than superposed\n",
+			c.name, report.Speedup[c.name])
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", outPath)
+	}
+	return nil
+}

@@ -6,14 +6,21 @@
 //	soferr run <id>|all [flags]      run experiments and print their tables
 //	soferr workloads [flags]         simulate every benchmark; print stats and AVFs
 //	soferr config                    print the Table 1 machine configuration
+//	soferr bench [flags]             micro-benchmark the Monte-Carlo engines
 //
 // Flags for run / workloads:
 //
-//	-trials N        Monte-Carlo trials per point (default 200000)
+//	-trials N        run: Monte-Carlo trials per point (default 200000)
 //	-instructions N  simulated instructions per benchmark (default 300000)
 //	-seed N          deterministic seed (default 1)
-//	-quick           shrink grids and trial counts
-//	-csv             emit CSV instead of aligned text
+//	-engine NAME     run: Monte-Carlo engine: inverted (default), superposed, naive
+//	-quick           run: shrink grids and trial counts
+//	-csv             run: emit CSV instead of aligned text
+//	-v               log progress to stderr
+//
+// Flags for bench:
+//
+//	-out FILE        JSON report path (default BENCH_mc.json)
 //	-v               log progress to stderr
 package main
 
@@ -24,6 +31,7 @@ import (
 	"os"
 
 	"github.com/soferr/soferr/internal/experiments"
+	"github.com/soferr/soferr/internal/montecarlo"
 	"github.com/soferr/soferr/internal/turandot"
 	"github.com/soferr/soferr/internal/workload"
 )
@@ -48,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		trials       = fs.Int("trials", 0, "Monte-Carlo trials per point (0 = default)")
 		instructions = fs.Int("instructions", 0, "instructions per simulated benchmark (0 = default)")
 		seed         = fs.Uint64("seed", 1, "deterministic seed")
+		engineName   = fs.String("engine", "", "Monte-Carlo engine: inverted, superposed, or naive")
 		quick        = fs.Bool("quick", false, "shrink grids and trial counts")
 		asCSV        = fs.Bool("csv", false, "emit CSV instead of text")
 		verbose      = fs.Bool("v", false, "log progress to stderr")
@@ -81,6 +90,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Instructions: *instructions,
 			Seed:         *seed,
 			Quick:        *quick,
+		}
+		if *engineName != "" {
+			engine, err := montecarlo.EngineByName(*engineName)
+			if err != nil {
+				return err
+			}
+			opt.Engine = engine
 		}
 		if *verbose {
 			opt.Log = stderr
@@ -125,6 +141,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 			n = 100000
 		}
 		return runWorkloads(stdout, n, *seed)
+
+	case "bench":
+		// bench takes only its own flags; a stray -trials/-seed would
+		// be silently ignored, so reject it instead of accepting it.
+		bfs := flag.NewFlagSet("bench", flag.ContinueOnError)
+		bfs.SetOutput(stderr)
+		benchOut := bfs.String("out", "BENCH_mc.json", "JSON report path (empty to skip)")
+		benchVerbose := bfs.Bool("v", false, "log progress to stderr")
+		if err := bfs.Parse(rest); err != nil {
+			return err
+		}
+		return runBench(stdout, stderr, *benchOut, *benchVerbose)
 
 	case "help", "-h", "--help":
 		usage(stdout)
@@ -171,8 +199,13 @@ commands:
   run <id|all> run experiments and print their tables
   workloads    simulate every benchmark; print stats and AVFs
   config       print the Table 1 machine configuration
+  bench        micro-benchmark the Monte-Carlo engines; write BENCH_mc.json
 
-flags for run/workloads:
-  -trials N -instructions N -seed N -quick -csv -v
+flags for run:
+  -trials N -instructions N -seed N -engine inverted|superposed|naive -quick -csv -v
+flags for workloads:
+  -instructions N -seed N
+flags for bench:
+  -out FILE -v
 `)
 }

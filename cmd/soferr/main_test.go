@@ -110,3 +110,32 @@ func TestWorkloadsSurvey(t *testing.T) {
 		t.Errorf("workloads output should have 22 lines:\n%s", out)
 	}
 }
+
+func TestRunEngineFlag(t *testing.T) {
+	for _, engine := range []string{"inverted", "superposed", "naive"} {
+		out, _, err := runCLI(t, "run", "fig4", "-quick", "-engine", engine)
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		if !strings.Contains(out, "fig4") {
+			t.Errorf("engine %s: malformed output:\n%s", engine, out)
+		}
+	}
+}
+
+func TestRunEngineFlagUnknown(t *testing.T) {
+	_, _, err := runCLI(t, "run", "fig4", "-quick", "-engine", "warp")
+	if err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestHelpMentionsBench(t *testing.T) {
+	out, _, err := runCLI(t, "help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "bench") || !strings.Contains(out, "-engine") {
+		t.Errorf("help missing bench/engine documentation:\n%s", out)
+	}
+}

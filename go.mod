@@ -1,0 +1,3 @@
+module github.com/soferr/soferr
+
+go 1.24

@@ -1,0 +1,60 @@
+// Package dist provides the minimal continuous-distribution toolkit
+// behind the Section 3.2.2 construction: distributions described by
+// their survival function, and the min-of-N-i.i.d. transform whose mean
+// is the exact series-system MTTF that Figure 4 compares against SOFR.
+package dist
+
+import (
+	"math"
+
+	"github.com/soferr/soferr/internal/numeric"
+)
+
+// Dist is a nonnegative continuous distribution described by its
+// survival function.
+type Dist interface {
+	// Survival returns P(X > x).
+	Survival(x float64) float64
+}
+
+// HalfGaussian is the paper's Section 3.2.2 component distribution: the
+// absolute value of a N(0, 1/2) variable, with density 2/sqrt(pi) *
+// e^(-x^2) on x >= 0 and mean 1/sqrt(pi).
+type HalfGaussian struct{}
+
+// Survival returns P(X > x) = erfc(x) for x >= 0.
+func (HalfGaussian) Survival(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Erfc(x)
+}
+
+// Mean returns 1/sqrt(pi).
+func (HalfGaussian) Mean() float64 { return 1 / math.Sqrt(math.Pi) }
+
+// MinOfIID is the minimum of N independent copies of X: the failure law
+// of a series system of N identical components.
+type MinOfIID struct {
+	X Dist
+	N int
+}
+
+// Survival returns P(min > x) = P(X > x)^N.
+func (m MinOfIID) Survival(x float64) float64 {
+	s := m.X.Survival(x)
+	if s <= 0 {
+		return 0
+	}
+	return math.Pow(s, float64(m.N))
+}
+
+// Mean returns E[min] = int_0^inf P(min > x) dx by quadrature, or NaN
+// if the quadrature fails to converge.
+func (m MinOfIID) Mean() float64 {
+	v, err := numeric.IntegrateToInf(m.Survival, 0, 1e-12)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}

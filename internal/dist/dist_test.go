@@ -1,0 +1,49 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHalfGaussianSurvival(t *testing.T) {
+	hg := HalfGaussian{}
+	if got := hg.Survival(0); got != 1 {
+		t.Errorf("Survival(0) = %v, want 1", got)
+	}
+	if got := hg.Survival(-3); got != 1 {
+		t.Errorf("Survival(-3) = %v, want 1", got)
+	}
+	// erfc is monotone decreasing to zero.
+	prev := 1.0
+	for x := 0.1; x < 6; x += 0.1 {
+		s := hg.Survival(x)
+		if s >= prev || s < 0 {
+			t.Fatalf("Survival not strictly decreasing at %v: %v >= %v", x, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestMinOfIIDMeanMatchesClosedForms(t *testing.T) {
+	// N=1: the half-Gaussian mean is 1/sqrt(pi).
+	one := MinOfIID{X: HalfGaussian{}, N: 1}
+	if got, want := one.Mean(), 1/math.Sqrt(math.Pi); math.Abs(got-want) > 1e-9 {
+		t.Errorf("N=1 mean = %v, want %v", got, want)
+	}
+	// N=2: E[min] = integral erfc(x)^2 dx = (2-sqrt(2))/sqrt(pi).
+	two := MinOfIID{X: HalfGaussian{}, N: 2}
+	if got, want := two.Mean(), (2-math.Sqrt2)/math.Sqrt(math.Pi); math.Abs(got-want) > 1e-9 {
+		t.Errorf("N=2 mean = %v, want %v", got, want)
+	}
+}
+
+func TestMinOfIIDMeanDecreasesInN(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		m := MinOfIID{X: HalfGaussian{}, N: n}.Mean()
+		if math.IsNaN(m) || m <= 0 || m >= prev {
+			t.Fatalf("N=%d mean = %v (prev %v)", n, m, prev)
+		}
+		prev = m
+	}
+}

@@ -42,7 +42,7 @@ func (r *Runner) ExtDist() (*Table, error) {
 		r.logf("extdist: NxS=%g", ns)
 		samples, err := montecarlo.SystemTTFSamples(
 			[]montecarlo.Component{{Rate: rate, Trace: day}},
-			montecarlo.Config{Trials: r.opt.Trials, Seed: r.opt.Seed ^ uint64(ns)},
+			montecarlo.Config{Trials: r.opt.Trials, Seed: r.opt.Seed ^ uint64(ns), Engine: r.opt.Engine},
 		)
 		if err != nil {
 			return nil, err

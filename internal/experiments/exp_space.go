@@ -17,7 +17,7 @@ import (
 func (r *Runner) mcMTTF(rate float64, tr trace.Trace, seedSalt uint64) (montecarlo.Result, error) {
 	return montecarlo.ComponentMTTF(
 		montecarlo.Component{Rate: rate, Trace: tr},
-		montecarlo.Config{Trials: r.opt.Trials, Seed: r.opt.Seed ^ seedSalt},
+		montecarlo.Config{Trials: r.opt.Trials, Seed: r.opt.Seed ^ seedSalt, Engine: r.opt.Engine},
 	)
 }
 

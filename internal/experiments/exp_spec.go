@@ -91,6 +91,7 @@ func (r *Runner) Sec51() (*Table, error) {
 		}
 		sys, err := montecarlo.SystemMTTF(mcComponents, montecarlo.Config{
 			Trials: r.opt.Trials, Seed: r.opt.Seed ^ hash51(b, "system"),
+			Engine: r.opt.Engine,
 		})
 		if err != nil {
 			return nil, err

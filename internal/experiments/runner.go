@@ -13,6 +13,7 @@ import (
 
 	"github.com/soferr/soferr/internal/design"
 	"github.com/soferr/soferr/internal/isa"
+	"github.com/soferr/soferr/internal/montecarlo"
 	"github.com/soferr/soferr/internal/trace"
 	"github.com/soferr/soferr/internal/turandot"
 	"github.com/soferr/soferr/internal/workload"
@@ -31,6 +32,11 @@ type Options struct {
 	Instructions int
 	// Quick shrinks grids and trial counts for use in tests.
 	Quick bool
+	// Engine selects the Monte-Carlo trial implementation (default
+	// Inverted: every design-space trace is a materialized Piecewise,
+	// so the closed-form sampler applies and the sweep cost becomes
+	// independent of rate and AVF).
+	Engine montecarlo.Engine
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -38,6 +44,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Trials <= 0 {
 		o.Trials = 200000
+	}
+	if o.Engine == 0 {
+		o.Engine = montecarlo.Inverted
 	}
 	if o.Instructions <= 0 {
 		o.Instructions = 300000

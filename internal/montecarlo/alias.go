@@ -1,0 +1,75 @@
+package montecarlo
+
+// aliasTable samples an index with probability proportional to the
+// construction weights in O(1) per draw (Walker/Vose alias method),
+// replacing the O(C) linear scan over component rates that otherwise
+// dominates superposed trials on large systems.
+type aliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// newAliasTable builds the table from nonnegative weights with a
+// positive sum. Construction is O(C).
+func newAliasTable(weights []float64) *aliasTable {
+	n := len(weights)
+	t := &aliasTable{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	// Scaled weights: mean 1 across buckets.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are exactly 1 up to rounding.
+	for _, l := range large {
+		t.prob[l] = 1
+		t.alias[l] = l
+	}
+	for _, s := range small {
+		t.prob[s] = 1
+		t.alias[s] = s
+	}
+	return t
+}
+
+// pick maps one uniform draw u in [0, 1) to an index: the integer part
+// of u*n selects the bucket and the fractional part is reused as the
+// biased coin. One draw per sample keeps the stream consumption equal
+// to the linear-scan sampler it replaces.
+func (t *aliasTable) pick(u float64) int {
+	n := len(t.prob)
+	scaled := u * float64(n)
+	i := int(scaled)
+	if i >= n { // u == 1-ulp with n not a power of two
+		i = n - 1
+	}
+	if scaled-float64(i) < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}

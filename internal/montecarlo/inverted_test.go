@@ -1,0 +1,297 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"github.com/soferr/soferr/internal/analytic"
+	"github.com/soferr/soferr/internal/numeric"
+	"github.com/soferr/soferr/internal/trace"
+	"github.com/soferr/soferr/internal/xrand"
+)
+
+func TestInvertedAgainstClosedForm(t *testing.T) {
+	// The inverted engine must reproduce Derivation 1's closed form in
+	// every rate*L regime, including the extremes where the arrival-
+	// enumerating engines need thousands of draws per trial.
+	cases := []struct {
+		name               string
+		rate, period, busy float64
+	}{
+		{"tiny rateL", 1e-6, 10, 5},
+		{"small rateL", 1e-3, 10, 5},
+		{"moderate rateL", 0.05, 10, 5},
+		{"large rateL", 0.5, 10, 2},
+		{"huge rateL", 50, 10, 2},
+		{"asymmetric", 0.2, 100, 10},
+		{"narrow window", 0.01, 1000, 1},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := busyIdle(t, tt.period, tt.busy)
+			want, err := analytic.BusyIdleMTTF(tt.rate, tt.period, tt.busy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ComponentMTTF(Component{Rate: tt.rate, Trace: tr},
+				Config{Trials: 150000, Seed: 7, Engine: Inverted})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if numeric.RelErr(res.MTTF, want) > 0.015 {
+				t.Errorf("MC = %v, closed form = %v (relerr %v, stderr %v)",
+					res.MTTF, want, numeric.RelErr(res.MTTF, want), res.RelStdErr())
+			}
+		})
+	}
+}
+
+// TestEnginesAgreeWithinStdErr is the cross-engine property test: on
+// every (trace, rate, seed) triple the three engines must produce MTTFs
+// within 3 combined standard errors of each other. Distinct seeds per
+// engine keep the estimates independent, so the 3-sigma bound holds
+// with ~99.7% probability per comparison.
+func TestEnginesAgreeWithinStdErr(t *testing.T) {
+	fractional, err := trace.NewPiecewise([]trace.Segment{
+		{Start: 0, End: 2, Vuln: 0.8},
+		{Start: 2, End: 5, Vuln: 0},
+		{Start: 5, End: 7, Vuln: 0.25},
+		{Start: 7, End: 10, Vuln: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := []struct {
+		name string
+		tr   trace.Trace
+	}{
+		{"busyidle", mustBusyIdle(t, 10, 5)},
+		{"narrow", mustBusyIdle(t, 100, 2)},
+		{"fractional", fractional},
+	}
+	rates := []float64{1e-4, 1e-2, 1}
+	seeds := []uint64{1, 99}
+	const trials = 40000
+	for _, trc := range traces {
+		for _, rate := range rates {
+			for _, seed := range seeds {
+				comps := []Component{{Rate: rate, Trace: trc.tr}}
+				results := make(map[Engine]Result)
+				for _, e := range []Engine{Superposed, Naive, Inverted} {
+					res, err := SystemMTTF(comps, Config{
+						Trials: trials, Seed: seed + uint64(e)<<32, Engine: e,
+					})
+					if err != nil {
+						t.Fatalf("%s rate=%g seed=%d engine=%v: %v", trc.name, rate, seed, e, err)
+					}
+					results[e] = res
+				}
+				for _, pair := range [][2]Engine{
+					{Superposed, Inverted}, {Naive, Inverted}, {Superposed, Naive},
+				} {
+					a, b := results[pair[0]], results[pair[1]]
+					diff := math.Abs(a.MTTF - b.MTTF)
+					bound := 3 * math.Hypot(a.StdErr, b.StdErr)
+					if diff > bound {
+						t.Errorf("%s rate=%g seed=%d: %v=%v vs %v=%v differ by %v > %v",
+							trc.name, rate, seed, pair[0], a.MTTF, pair[1], b.MTTF, diff, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+func mustBusyIdle(t *testing.T, period, busy float64) trace.Trace {
+	t.Helper()
+	return busyIdle(t, period, busy)
+}
+
+func TestInvertedSystem(t *testing.T) {
+	// A heterogeneous series system: inverted min-of-components must
+	// agree with the superposed union engine.
+	a := busyIdle(t, 10, 5)
+	b := busyIdle(t, 10, 3)
+	c := busyIdle(t, 24, 6)
+	comps := []Component{
+		{Name: "a", Rate: 0.1, Trace: a},
+		{Name: "b", Rate: 0.05, Trace: b},
+		{Name: "c", Rate: 0.02, Trace: c},
+	}
+	sup, err := SystemMTTF(comps, Config{Trials: 120000, Seed: 3, Engine: Superposed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := SystemMTTF(comps, Config{Trials: 120000, Seed: 4, Engine: Inverted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(sup.MTTF - inv.MTTF); diff > 3*math.Hypot(sup.StdErr, inv.StdErr) {
+		t.Errorf("superposed %v vs inverted %v (diff %v)", sup.MTTF, inv.MTTF, diff)
+	}
+}
+
+func TestInvertedDeterminismAcrossWorkerCounts(t *testing.T) {
+	tr := busyIdle(t, 10, 4)
+	cfg := func(workers int) Config {
+		return Config{Trials: 20000, Seed: 42, Workers: workers, Engine: Inverted}
+	}
+	one, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.MTTF != four.MTTF || one.StdErr != four.StdErr {
+		t.Errorf("worker count changed result: %+v vs %+v", one, four)
+	}
+}
+
+func TestInvertedFallbackNonInvertibleTrace(t *testing.T) {
+	// A LongLoop trace has no exposure table; the inverted engine must
+	// fall back to thinning and still match the closed form.
+	inner := busyIdle(t, 1e-3, 0.5e-3)
+	reps := trace.RepeatFor(inner, 2.0)
+	ll, err := trace.NewLongLoop(trace.LoopPhase{Inner: inner, Reps: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rate = 0.05
+	res, err := ComponentMTTF(Component{Rate: rate, Trace: ll},
+		Config{Trials: 60000, Seed: 21, Engine: Inverted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (rate * 0.5)
+	if numeric.RelErr(res.MTTF, want) > 0.02 {
+		t.Errorf("MTTF = %v, want ~%v", res.MTTF, want)
+	}
+}
+
+func TestInvertedSamplesMatchSummary(t *testing.T) {
+	// The collect path (raw samples) and the streaming path must agree
+	// on the mean exactly up to accumulation order.
+	tr := busyIdle(t, 10, 4)
+	comps := []Component{{Rate: 0.1, Trace: tr}}
+	cfg := Config{Trials: 30000, Seed: 5, Engine: Inverted}
+	sum, err := SystemMTTF(comps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := SystemTTFSamples(comps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != cfg.Trials {
+		t.Fatalf("got %d samples, want %d", len(samples), cfg.Trials)
+	}
+	mean := numeric.Mean(samples)
+	if numeric.RelErr(sum.MTTF, mean) > 1e-12 {
+		t.Errorf("streaming mean %v vs sample mean %v", sum.MTTF, mean)
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	for _, e := range []Engine{Superposed, Naive, Inverted} {
+		got, err := EngineByName(e.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != e {
+			t.Errorf("EngineByName(%q) = %v, want %v", e.String(), got, e)
+		}
+	}
+	if _, err := EngineByName("warp"); err == nil {
+		t.Error("unknown engine name should fail")
+	}
+}
+
+func TestFailFastOnBadTrace(t *testing.T) {
+	// A vanishing-AVF component with a tiny arrival cap must error out,
+	// and cancellation must keep it from burning the whole budget (the
+	// test would time out if every trial ran to the cap).
+	p, err := trace.NewPiecewise([]trace.Segment{{Start: 0, End: 10, Vuln: 1e-15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = SystemMTTF(
+		[]Component{{Name: "bad", Rate: 1, Trace: p}},
+		Config{Trials: 1 << 20, Seed: 1, Engine: Superposed, MaxArrivalsPerTrial: 100},
+	)
+	if err == nil {
+		t.Fatal("expected an arrival-cap error")
+	}
+}
+
+func TestAliasTableMatchesWeights(t *testing.T) {
+	weights := []float64{5, 0, 1, 3, 1}
+	tab := newAliasTable(weights)
+	counts := make([]int, len(weights))
+	r := xrand.New(9)
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		counts[tab.pick(r.Float64())]++
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := float64(n) * w / total
+		got := float64(counts[i])
+		if w == 0 {
+			if got != 0 {
+				t.Errorf("zero-weight bucket %d drawn %v times", i, got)
+			}
+			continue
+		}
+		// 5-sigma binomial bound.
+		sigma := math.Sqrt(float64(n) * (w / total) * (1 - w/total))
+		if math.Abs(got-want) > 5*sigma {
+			t.Errorf("bucket %d: got %v draws, want %v +- %v", i, got, want, 5*sigma)
+		}
+	}
+}
+
+func TestSuperposedAliasMatchesLinearScan(t *testing.T) {
+	// >2 components switches the superposed engine to the alias
+	// sampler; the estimate must agree statistically with a 2-component
+	// run plus the closed-form-equivalent formulation (C identical
+	// components == one component at C times the rate).
+	tr := busyIdle(t, 10, 5)
+	const rate = 0.02
+	const c = 8
+	comps := make([]Component, c)
+	for i := range comps {
+		comps[i] = Component{Rate: rate, Trace: tr}
+	}
+	multi, err := SystemMTTF(comps, Config{Trials: 100000, Seed: 11, Engine: Superposed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := ComponentMTTF(Component{Rate: rate * c, Trace: tr},
+		Config{Trials: 100000, Seed: 12, Engine: Superposed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(multi.MTTF - single.MTTF); diff > 3*math.Hypot(multi.StdErr, single.StdErr) {
+		t.Errorf("alias-sampled system %v vs scaled single %v", multi.MTTF, single.MTTF)
+	}
+}
+
+func BenchmarkEngines(b *testing.B) {
+	// Head-to-head engine cost on the same low-AVF narrow-window trace,
+	// where arrival enumeration is most expensive.
+	tr, err := trace.BusyIdle(1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comps := []Component{{Rate: 0.01, Trace: tr}}
+	for _, e := range []Engine{Superposed, Naive, Inverted} {
+		b.Run(e.String(), func(b *testing.B) {
+			_, err := SystemMTTF(comps, Config{Trials: b.N, Seed: 1, Engine: e})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -6,18 +6,30 @@
 // its earliest component fails. The average over trials is the MTTF, and
 // no AVF or SOFR assumption is involved.
 //
-// Two engines are provided:
+// Three engines are provided:
 //
 //   - The naive engine simulates every component separately and takes
 //     the minimum, mirroring the paper's description literally.
 //   - The superposition engine exploits the fact that the union of
 //     independent Poisson processes is a Poisson process of the summed
 //     rate, with each arrival belonging to component i with probability
-//     rate_i/total. The first unmasked arrival of the union is exactly
-//     the system failure time, so the cost is independent of the number
-//     of components. This is what makes the paper's 500,000-processor
-//     clusters (Table 2) simulable; the two engines are property-tested
-//     against each other.
+//     rate_i/total (sampled in O(1) by an alias table). The first
+//     unmasked arrival of the union is exactly the system failure time,
+//     so the cost per arrival is independent of the number of
+//     components. This is what makes the paper's 500,000-processor
+//     clusters (Table 2) simulable.
+//   - The inverted engine samples each component's first unmasked
+//     arrival in closed form by inverting the cumulative exposure m(t)
+//     that trace.Piecewise precomputes: a thinned Poisson process is an
+//     inhomogeneous Poisson process with cumulative hazard rate*m(t),
+//     so one Exp(1) draw splits into a geometric number of survived
+//     periods plus one binary search over the one-period exposure
+//     table — O(log S) per trial, independent of the raw rate, the
+//     AVF, and the number of masked arrivals that the other engines
+//     must enumerate and reject.
+//
+// The engines are property-tested against each other and against the
+// closed forms in package analytic.
 package montecarlo
 
 import (
@@ -26,6 +38,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/soferr/soferr/internal/numeric"
 	"github.com/soferr/soferr/internal/trace"
@@ -48,11 +61,45 @@ type Engine int
 
 const (
 	// Superposed simulates the union Poisson process (default; exact
-	// and O(1) in the number of components).
+	// and O(1) in the number of components, but O(arrivals) in the
+	// masked-arrival count).
 	Superposed Engine = iota + 1
 	// Naive simulates each component separately and takes the minimum.
 	Naive
+	// Inverted samples each component's first unmasked arrival in
+	// closed form by exposure inversion: O(log S) per component per
+	// trial, independent of rate and AVF. Traces that do not expose an
+	// exposure table (see ExposureInverter) fall back to thinning.
+	Inverted
 )
+
+// String returns the engine's CLI name.
+func (e Engine) String() string {
+	switch e {
+	case Superposed:
+		return "superposed"
+	case Naive:
+		return "naive"
+	case Inverted:
+		return "inverted"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// EngineByName parses a CLI engine name.
+func EngineByName(name string) (Engine, error) {
+	switch name {
+	case "superposed":
+		return Superposed, nil
+	case "naive":
+		return Naive, nil
+	case "inverted":
+		return Inverted, nil
+	default:
+		return 0, fmt.Errorf("montecarlo: unknown engine %q (want superposed, naive, or inverted)", name)
+	}
+}
 
 // Config controls a Monte-Carlo run. The zero value is usable: it means
 // DefaultTrials trials, seed 0, all engines defaulted.
@@ -68,7 +115,9 @@ type Config struct {
 	// Engine selects the trial implementation (default Superposed).
 	Engine Engine
 	// MaxArrivalsPerTrial aborts pathological trials (vanishing AVF with
-	// a non-zero rate). Default 100 million.
+	// a non-zero rate) in the arrival-enumerating engines. Default 100
+	// million. The Inverted engine draws no arrivals and ignores it
+	// except for thinning fallbacks.
 	MaxArrivalsPerTrial int
 }
 
@@ -95,14 +144,22 @@ func (r Result) RelStdErr() float64 { return r.StdErr / r.MTTF }
 var ErrNoFailurePossible = errors.New("montecarlo: no component can ever fail (zero rate or zero AVF)")
 
 // SystemMTTF estimates the MTTF of a series system of components.
+// Failure times are folded into streaming accumulators as they are
+// produced, so memory is O(workers), not O(trials).
 func SystemMTTF(components []Component, cfg Config) (Result, error) {
-	res, _, err := systemMTTFImpl(components, cfg)
+	res, _, err := systemMTTFImpl(components, cfg, false)
 	return res, err
 }
 
-// systemMTTFImpl runs the engine and returns both the summary and the
-// raw per-trial failure times (in trial order).
-func systemMTTFImpl(components []Component, cfg Config) (Result, []float64, error) {
+// trialBlock is the unit of work a worker claims at a time. Blocks are
+// accumulated independently and merged in block order, so the result is
+// bit-identical for any worker count or scheduling.
+const trialBlock = 4096
+
+// systemMTTFImpl runs the engine. With collect it also returns the raw
+// per-trial failure times (in trial order); otherwise samples are
+// folded into per-block Welford accumulators and never materialized.
+func systemMTTFImpl(components []Component, cfg Config, collect bool) (Result, []float64, error) {
 	if len(components) == 0 {
 		return Result{}, nil, errors.New("montecarlo: no components")
 	}
@@ -144,56 +201,108 @@ func systemMTTFImpl(components []Component, cfg Config) (Result, []float64, erro
 		maxArrivals = 100_000_000
 	}
 
-	samples := make([]float64, trials)
+	// Per-engine precomputation, shared read-only across workers.
+	var trial func(r *xrand.Rand) (float64, error)
+	switch engine {
+	case Naive:
+		trial = func(r *xrand.Rand) (float64, error) {
+			return trialNaive(components, r, maxArrivals)
+		}
+	case Inverted:
+		comps := newInvComps(components)
+		trial = func(r *xrand.Rand) (float64, error) {
+			return trialInverted(comps, r, maxArrivals)
+		}
+	default:
+		var alias *aliasTable
+		if len(components) > 2 {
+			weights := make([]float64, len(components))
+			for i := range components {
+				weights[i] = components[i].Rate
+			}
+			alias = newAliasTable(weights)
+		}
+		trial = func(r *xrand.Rand) (float64, error) {
+			return trialSuperposed(components, total, alias, r, maxArrivals)
+		}
+	}
+
+	numBlocks := (trials + trialBlock - 1) / trialBlock
+	var samples []float64
+	var accs []numeric.Welford
+	if collect {
+		samples = make([]float64, trials)
+	} else {
+		accs = make([]numeric.Welford, numBlocks)
+	}
 	var (
 		wg       sync.WaitGroup
+		next     atomic.Int64
+		canceled atomic.Bool
 		mu       sync.Mutex
 		trialErr error
 	)
-	chunk := (trials + workers - 1) / workers
+	fail := func(err error) {
+		mu.Lock()
+		if trialErr == nil {
+			trialErr = err
+		}
+		mu.Unlock()
+		// One bad trace means every sibling's remaining trials are
+		// wasted work: cancel instead of burning the trial budget.
+		canceled.Store(true)
+	}
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > trials {
-			hi = trials
-		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				r := trialStream(cfg.Seed, uint64(i))
-				var (
-					v   float64
-					err error
-				)
-				switch engine {
-				case Naive:
-					v, err = trialNaive(components, r, maxArrivals)
-				default:
-					v, err = trialSuperposed(components, total, r, maxArrivals)
-				}
-				if err != nil {
-					mu.Lock()
-					if trialErr == nil {
-						trialErr = err
-					}
-					mu.Unlock()
+			for {
+				b := int(next.Add(1) - 1)
+				if b >= numBlocks || canceled.Load() {
 					return
 				}
-				samples[i] = v
+				lo := b * trialBlock
+				hi := lo + trialBlock
+				if hi > trials {
+					hi = trials
+				}
+				var acc numeric.Welford
+				for i := lo; i < hi; i++ {
+					if canceled.Load() {
+						return
+					}
+					r := trialStream(cfg.Seed, uint64(i))
+					v, err := trial(r)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if collect {
+						samples[i] = v
+					} else {
+						acc.Add(v)
+					}
+				}
+				if !collect {
+					accs[b] = acc
+				}
 			}
-		}(lo, hi)
+		}()
 	}
 	wg.Wait()
 	if trialErr != nil {
 		return Result{}, nil, trialErr
 	}
 
-	mean, se := numeric.MeanStdErr(samples)
-	return Result{MTTF: mean, StdErr: se, Trials: trials}, samples, nil
+	if collect {
+		mean, se := numeric.MeanStdErr(samples)
+		return Result{MTTF: mean, StdErr: se, Trials: trials}, samples, nil
+	}
+	var w numeric.Welford
+	for _, acc := range accs {
+		w.Merge(acc)
+	}
+	return Result{MTTF: w.Mean(), StdErr: w.StdErr(), Trials: trials}, nil, nil
 }
 
 // ComponentMTTF estimates the MTTF of a single component.
@@ -211,11 +320,11 @@ func trialStream(seed, trial uint64) *xrand.Rand {
 // trialSuperposed simulates the union process: arrivals at the summed
 // rate, each attributed to a component proportionally to its rate and
 // masked by that component's trace.
-func trialSuperposed(components []Component, total float64, r *xrand.Rand, maxArrivals int) (float64, error) {
+func trialSuperposed(components []Component, total float64, alias *aliasTable, r *xrand.Rand, maxArrivals int) (float64, error) {
 	t := 0.0
 	for n := 0; n < maxArrivals; n++ {
 		t += r.Exp(total)
-		c := pick(components, total, r)
+		c := pick(components, total, alias, r)
 		if r.Bool(c.Trace.VulnAt(t)) {
 			return t, nil
 		}
@@ -223,10 +332,15 @@ func trialSuperposed(components []Component, total float64, r *xrand.Rand, maxAr
 	return 0, fmt.Errorf("montecarlo: trial exceeded %d arrivals without failure", maxArrivals)
 }
 
-// pick selects a component with probability proportional to its rate.
-func pick(components []Component, total float64, r *xrand.Rand) *Component {
+// pick selects a component with probability proportional to its rate,
+// via the alias table when one was built and a linear scan otherwise.
+// Both consume exactly one uniform draw.
+func pick(components []Component, total float64, alias *aliasTable, r *xrand.Rand) *Component {
 	if len(components) == 1 {
 		return &components[0]
+	}
+	if alias != nil {
+		return &components[alias.pick(r.Float64())]
 	}
 	u := r.Float64() * total
 	acc := 0.0
@@ -245,31 +359,36 @@ func trialNaive(components []Component, r *xrand.Rand, maxArrivals int) (float64
 	best := math.Inf(1)
 	for i := range components {
 		c := &components[i]
-		if c.Rate == 0 || c.Trace.AVF() == 0 {
-			continue
+		t, failed, err := thinFirstArrival(c, r, best, maxArrivals)
+		if err != nil {
+			return 0, err
 		}
-		t := 0.0
-		failed := false
-		for n := 0; n < maxArrivals; n++ {
-			t += r.Exp(c.Rate)
-			if t >= best {
-				// Cannot beat the current minimum; later arrivals only
-				// grow t, so this component is irrelevant to the trial.
-				failed = true
-				break
-			}
-			if r.Bool(c.Trace.VulnAt(t)) {
-				best = t
-				failed = true
-				break
-			}
-		}
-		if !failed {
-			return 0, fmt.Errorf("montecarlo: component %s exceeded %d arrivals", c.Name, maxArrivals)
+		if failed && t < best {
+			best = t
 		}
 	}
 	if math.IsInf(best, 1) {
 		return 0, errors.New("montecarlo: no component failed")
 	}
 	return best, nil
+}
+
+// thinFirstArrival draws raw arrivals for one component and thins them
+// against the trace until the first unmasked arrival, giving up once t
+// exceeds cutoff (a later arrival cannot beat the running minimum).
+// failed reports whether an unmasked arrival at t < cutoff was found.
+func thinFirstArrival(c *Component, r *xrand.Rand, cutoff float64, maxArrivals int) (t float64, failed bool, err error) {
+	if c.Rate == 0 || c.Trace.AVF() == 0 {
+		return 0, false, nil
+	}
+	for n := 0; n < maxArrivals; n++ {
+		t += r.Exp(c.Rate)
+		if t >= cutoff {
+			return 0, false, nil
+		}
+		if r.Bool(c.Trace.VulnAt(t)) {
+			return t, true, nil
+		}
+	}
+	return 0, false, fmt.Errorf("montecarlo: component %s exceeded %d arrivals", c.Name, maxArrivals)
 }

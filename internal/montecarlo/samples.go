@@ -14,7 +14,7 @@ import (
 // what the SOFR step assumes to be exponential — see TTFStats for
 // direct tests of that assumption.
 func SystemTTFSamples(components []Component, cfg Config) ([]float64, error) {
-	_, samples, err := systemMTTFImpl(components, cfg)
+	_, samples, err := systemMTTFImpl(components, cfg, true)
 	if err != nil {
 		return nil, err
 	}

@@ -165,6 +165,59 @@ func (p *Piecewise) Exposure(x float64) float64 {
 	return p.cumExp[i] + (x-s.Start)*s.Vuln
 }
 
+// TotalExposure returns m(Period): the expected unmasked exposure
+// accumulated over one full period (= AVF x Period).
+func (p *Piecewise) TotalExposure() float64 { return p.cumExp[len(p.segs)] }
+
+// InvertExposure returns the right-continuous generalized inverse of
+// Exposure: the first instant x in [0, Period] at which the exposure
+// accumulates beyond e (inf{x : m(x) > e}), clamped to Period for
+// e >= m(Period). Zero-vulnerability segments accumulate no exposure,
+// so the inverse jumps across them — a target landing exactly on a
+// flat run maps to the start of the next vulnerable segment, which is
+// what a first-arrival sampler needs: failures only land at vulnerable
+// instants. One binary search over the precomputed cumExp table makes
+// this O(log S).
+//
+// Exposure inversion is what lets a Monte-Carlo trial sample the first
+// unmasked arrival in closed form (package montecarlo's Inverted
+// engine): the thinned arrival process has cumulative hazard
+// rate*m(t), so equating it to an Exp(1) draw reduces to inverting m.
+func (p *Piecewise) InvertExposure(e float64) float64 {
+	total := p.cumExp[len(p.segs)]
+	if e < 0 {
+		e = 0
+	}
+	if e >= total {
+		return p.period
+	}
+	// Smallest segment i with cumExp[i+1] > e: the segment in whose
+	// interior (exposure-wise) the target falls.
+	i := sort.Search(len(p.segs), func(i int) bool { return p.cumExp[i+1] > e })
+	s := p.segs[i]
+	// cumExp[i+1] > cumExp[i] implies s.Vuln > 0.
+	x := s.Start + (e-p.cumExp[i])/s.Vuln
+	if x > s.End {
+		x = s.End
+	}
+	return x
+}
+
+// ExposureQuantile returns the time by which a fraction q in [0, 1] of
+// one period's total exposure has accumulated: InvertExposure(q *
+// TotalExposure()). It is the quantile function of the distribution of
+// the (wrapped) position of an unmasked arrival in the rate*Period -> 0
+// limit (Theorem 1's uniform-raw-arrival regime).
+func (p *Piecewise) ExposureQuantile(q float64) float64 {
+	if q <= 0 {
+		return p.InvertExposure(0)
+	}
+	if q >= 1 {
+		return p.period
+	}
+	return p.InvertExposure(q * p.TotalExposure())
+}
+
 // SurvivalIntegral implements Trace.
 func (p *Piecewise) SurvivalIntegral(rate float64) (integral, exposure float64) {
 	exposure = rate * p.cumExp[len(p.segs)]

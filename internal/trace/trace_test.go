@@ -368,3 +368,105 @@ func TestSegmentsReturnsCopy(t *testing.T) {
 		t.Error("Segments exposed internal state")
 	}
 }
+
+func TestTotalExposure(t *testing.T) {
+	p := mustPiecewise(t, []Segment{{0, 2, 1}, {2, 6, 0}, {6, 10, 0.5}})
+	if got := p.TotalExposure(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("TotalExposure = %v, want 4", got)
+	}
+	if math.Abs(p.TotalExposure()-p.AVF()*p.Period()) > 1e-12 {
+		t.Error("TotalExposure != AVF * Period")
+	}
+}
+
+func TestInvertExposureRoundTrip(t *testing.T) {
+	// Exposure(InvertExposure(e)) == e for every target in [0, total):
+	// the inverse must land exactly on the accumulated-exposure curve,
+	// including targets inside fractional-vulnerability segments.
+	p := mustPiecewise(t, []Segment{
+		{0, 1, 0}, {1, 3, 0.5}, {3, 5, 0}, {5, 6, 1}, {6, 10, 0.25},
+	})
+	total := p.TotalExposure() // 0*1 + 0.5*2 + 0 + 1 + 0.25*4 = 3
+	if math.Abs(total-3) > 1e-12 {
+		t.Fatalf("total exposure = %v, want 3", total)
+	}
+	for e := 0.0; e < total; e += 0.01 {
+		x := p.InvertExposure(e)
+		if back := p.Exposure(x); math.Abs(back-e) > 1e-12 {
+			t.Fatalf("Exposure(InvertExposure(%v)) = %v", e, back)
+		}
+	}
+	// The opposite round trip holds wherever m is strictly increasing
+	// (vulnerable instants); across zero-vulnerability gaps the inverse
+	// collapses to the first instant with the same accumulated exposure.
+	for _, x := range []float64{1.25, 2, 2.99, 5.5, 7, 9.999} {
+		if got := p.InvertExposure(p.Exposure(x)); math.Abs(got-x) > 1e-9 {
+			t.Errorf("InvertExposure(Exposure(%v)) = %v", x, got)
+		}
+	}
+	// Inside masked gaps m is flat, so the (right-continuous) inverse
+	// jumps forward to the next vulnerable instant: failures can only
+	// land where the trace is vulnerable.
+	for _, x := range []float64{0.5, 3.5, 4.999} {
+		got := p.InvertExposure(p.Exposure(x))
+		if got < x {
+			t.Errorf("InvertExposure(Exposure(%v)) = %v, want >= %v", x, got, x)
+		}
+		if p.VulnAt(got) == 0 && got != p.Period() {
+			t.Errorf("inverse of a gap target landed inside a masked span at %v", got)
+		}
+	}
+}
+
+func TestInvertExposureSegmentBoundaries(t *testing.T) {
+	p := mustPiecewise(t, []Segment{
+		{0, 1, 0}, {1, 3, 0.5}, {3, 5, 0}, {5, 6, 1}, {6, 10, 0.25},
+	})
+	cases := []struct{ e, want float64 }{
+		{-1, 1},  // clamped; first vulnerable instant
+		{0, 1},   // exposure starts accumulating at t=1
+		{1, 5},   // boundary target skips the [3,5) masked gap
+		{2, 6},   // end of the unit-vulnerability segment
+		{2.5, 8}, // interior of the trailing 0.25 segment
+		{3, 10},  // full exposure: end of period
+		{99, 10}, // clamped above
+	}
+	for _, tt := range cases {
+		if got := p.InvertExposure(tt.e); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("InvertExposure(%v) = %v, want %v", tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestExposureQuantile(t *testing.T) {
+	p := mustBusyIdle(t, 10, 4) // vulnerable [0,4), total exposure 4
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {0.25, 1}, {0.5, 2}, {1, 10},
+	}
+	for _, tt := range cases {
+		if got := p.ExposureQuantile(tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("ExposureQuantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestExposureAtPeriodEdges(t *testing.T) {
+	// The wrap/find edge cases at t == Period: Exposure saturates,
+	// VulnAt wraps to t=0, and the inverse of the saturated exposure is
+	// the period itself, not a wrapped zero.
+	p := mustBusyIdle(t, 10, 4)
+	if got := p.Exposure(p.Period()); math.Abs(got-p.TotalExposure()) > 1e-12 {
+		t.Errorf("Exposure(Period) = %v, want %v", got, p.TotalExposure())
+	}
+	if got := p.VulnAt(p.Period()); got != p.VulnAt(0) {
+		t.Errorf("VulnAt(Period) = %v, want VulnAt(0) = %v", got, p.VulnAt(0))
+	}
+	if got := p.InvertExposure(p.TotalExposure()); got != p.Period() {
+		t.Errorf("InvertExposure(total) = %v, want Period %v", got, p.Period())
+	}
+	// A period-boundary time from deep wrapping must stay in range.
+	big := 1e9 * p.Period()
+	if v := p.VulnAt(big); v != p.VulnAt(0) {
+		t.Errorf("VulnAt(%v) = %v, want %v", big, v, p.VulnAt(0))
+	}
+}

@@ -245,3 +245,60 @@ func BenchmarkExp(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestExpMomentsAcrossRates(t *testing.T) {
+	// Mean, variance, and CV of Exp(rate) across eighteen decades of
+	// rate (1e-9 to 1e9): inversion must not lose the distribution's
+	// shape at either extreme of the design space's raw-rate range.
+	const n = 200000
+	for _, rate := range []float64{1e-9, 1e-3, 1.0, 1e3, 1e9} {
+		r := New(31)
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := r.Exp(rate)
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		// Standard error of the mean of Exp(rate) is (1/rate)/sqrt(n).
+		if math.Abs(mean-1/rate) > 4/(rate*math.Sqrt(n)) {
+			t.Errorf("rate %g: mean = %v, want %v", rate, mean, 1/rate)
+		}
+		cv := math.Sqrt(variance) / mean
+		if math.Abs(cv-1) > 0.02 {
+			t.Errorf("rate %g: CV = %v, want 1", rate, cv)
+		}
+	}
+}
+
+func TestBoolMoments(t *testing.T) {
+	// Bernoulli frequencies across p, bounded by 4 binomial sigmas.
+	const n = 200000
+	for _, p := range []float64{0.001, 0.01, 0.25, 0.5, 0.9, 0.999} {
+		r := New(37)
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		sigma := math.Sqrt(p * (1 - p) / n)
+		if math.Abs(got-p) > 4*sigma {
+			t.Errorf("Bool(%v) frequency = %v (|err| > 4 sigma = %v)", p, got, 4*sigma)
+		}
+	}
+}
+
+func TestBoolDegenerate(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 1000; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}

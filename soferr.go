@@ -165,12 +165,32 @@ func SOFRMTTF(componentMTTFs []float64) (float64, error) {
 	return sofr.SystemMTTF(componentMTTFs)
 }
 
+// Engine selects the Monte-Carlo trial implementation.
+type Engine = montecarlo.Engine
+
+const (
+	// Superposed simulates the union Poisson process and thins every
+	// raw arrival (the package's historical default; exact, but cost
+	// grows with the masked-arrival count).
+	Superposed = montecarlo.Superposed
+	// Naive simulates each component separately, mirroring the paper's
+	// Section 4.3 description literally.
+	Naive = montecarlo.Naive
+	// Inverted samples each component's first unmasked arrival in
+	// closed form by inverting the trace's cumulative exposure:
+	// O(log S) per trial, independent of rate and AVF.
+	Inverted = montecarlo.Inverted
+)
+
 // MonteCarloOptions tunes MonteCarloMTTF.
 type MonteCarloOptions struct {
 	// Trials is the number of independent trials (default 200000).
 	Trials int
 	// Seed makes runs reproducible; equal seeds give identical results.
 	Seed uint64
+	// Engine selects the trial implementation (default Superposed; use
+	// Inverted for rate- and AVF-independent trial cost).
+	Engine Engine
 }
 
 // MonteCarloResult is a first-principles MTTF estimate.
@@ -194,6 +214,7 @@ func MonteCarloMTTF(components []Component, opt MonteCarloOptions) (MonteCarloRe
 	res, err := montecarlo.SystemMTTF(mcs, montecarlo.Config{
 		Trials: opt.Trials,
 		Seed:   opt.Seed,
+		Engine: opt.Engine,
 	})
 	if err != nil {
 		return MonteCarloResult{}, err

@@ -233,3 +233,34 @@ func TestErrorPaths(t *testing.T) {
 		t.Error("over-long combined phase accepted")
 	}
 }
+
+func TestMonteCarloEngines(t *testing.T) {
+	// The public Engine option must select working engines whose
+	// estimates agree within combined Monte-Carlo noise.
+	tr, err := soferr.BusyIdleTrace(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := []soferr.Component{{Name: "c", RatePerYear: 3e6, Trace: tr}}
+	var results []soferr.MonteCarloResult
+	for _, e := range []soferr.Engine{soferr.Superposed, soferr.Naive, soferr.Inverted} {
+		res, err := soferr.MonteCarloMTTF(comps, soferr.MonteCarloOptions{
+			Trials: 60000, Seed: 5 + uint64(e), Engine: e,
+		})
+		if err != nil {
+			t.Fatalf("engine %v: %v", e, err)
+		}
+		if res.MTTF <= 0 || res.StdErr <= 0 {
+			t.Fatalf("engine %v: degenerate result %+v", e, res)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		diff := math.Abs(results[i].MTTF - results[0].MTTF)
+		bound := 3 * math.Hypot(results[i].StdErr, results[0].StdErr)
+		if diff > bound {
+			t.Errorf("engines disagree: %v vs %v (diff %v > %v)",
+				results[i].MTTF, results[0].MTTF, diff, bound)
+		}
+	}
+}
