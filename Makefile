@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet verify bench bench-go clean
+.PHONY: all build test vet race verify bench bench-go clean
 
 all: build
 
@@ -15,6 +15,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# race mirrors the CI race job: the Monte-Carlo worker pool first (the
+# code most exposed to data races), then everything in short mode.
+race:
+	$(GO) test -race -short ./internal/montecarlo/...
+	$(GO) test -race -short ./...
 
 verify: vet build test
 

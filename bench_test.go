@@ -9,6 +9,7 @@
 package soferr_test
 
 import (
+	"context"
 	"testing"
 
 	"github.com/soferr/soferr"
@@ -36,7 +37,7 @@ func runExperiment(b *testing.B, id string) {
 	r := benchRunner()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tab, err := e.Run(r)
+		tab, err := e.Run(r, context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func BenchmarkMonteCarloTrials(b *testing.B) {
 	comp := montecarlo.Component{Rate: 1e-4, Trace: batch}
 	for _, e := range mcEngines {
 		b.Run(e.String(), func(b *testing.B) {
-			if _, err := montecarlo.ComponentMTTF(comp, montecarlo.Config{
+			if _, err := montecarlo.ComponentMTTF(context.Background(), comp, montecarlo.Config{
 				Trials: b.N, Seed: 1, Engine: e,
 			}); err != nil {
 				b.Fatal(err)
@@ -141,6 +142,79 @@ func BenchmarkMonteCarloSPECTrace(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRepeatedMonteCarloQuery measures the build-once/query-many
+// payoff of the compiled System: each op is one 20k-trial Monte-Carlo
+// MTTF query at fixed settings. The system variant compiles once and
+// answers repeats from its (deterministic, hence transparent) query
+// cache; the flat variant pays validation, unit conversion, engine
+// precomputation, and the full trial loop every call.
+func BenchmarkRepeatedMonteCarloQuery(b *testing.B) {
+	batch, err := trace.BusyIdle(24*3600, 3600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comps := []soferr.Component{{Name: "batch", RatePerYear: 3153.6, Trace: batch}}
+	const trials = 20000
+	b.Run("system", func(b *testing.B) {
+		sys, err := soferr.NewSystem(comps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.MTTF(context.Background(), soferr.MonteCarlo,
+				soferr.WithTrials(trials), soferr.WithSeed(1), soferr.WithEngine(soferr.Inverted)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := soferr.MonteCarloMTTF(comps, soferr.MonteCarloOptions{
+				Trials: trials, Seed: 1, Engine: soferr.Inverted,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRepeatedSoftArchQuery measures the same amortization for the
+// deterministic SoftArch method: the flat call rebuilds the
+// rate-weighted union and re-integrates survival per call; the compiled
+// System computes both once.
+func BenchmarkRepeatedSoftArchQuery(b *testing.B) {
+	res, err := soferr.SimulateBenchmark("swim", 50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comps := []soferr.Component{
+		{Name: "int", RatePerYear: 2.3e-6, Trace: res.Int},
+		{Name: "fp", RatePerYear: 4.5e-6, Trace: res.FP},
+		{Name: "decode", RatePerYear: 3.3e-6, Trace: res.Decode},
+		{Name: "regfile", RatePerYear: 1.0e-4, Trace: res.RegFile},
+	}
+	b.Run("system", func(b *testing.B) {
+		sys, err := soferr.NewSystem(comps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.MTTF(context.Background(), soferr.SoftArch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := soferr.SoftArchMTTF(comps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSurvivalIntegral measures the SoftArch closed-form path on a

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -32,13 +33,18 @@ type benchReport struct {
 	GOARCH     string             `json:"goarch"`
 	Benchmarks []benchEntry       `json:"benchmarks"`
 	Speedup    map[string]float64 `json:"speedup_inverted_vs_superposed"`
+	// SpeedupSystem records the repeated-query speedup of a compiled
+	// soferr.System over N independent flat MonteCarloMTTF calls at
+	// identical settings (the build-once/query-forever headline).
+	SpeedupSystem map[string]float64 `json:"speedup_system_vs_flat,omitempty"`
 }
 
 // runBench measures Monte-Carlo trial cost per engine on the two
 // workloads the acceptance benchmarks use — the day schedule
 // (BenchmarkMonteCarloTrials) and a simulator-derived SPEC trace
-// (BenchmarkMonteCarloSPECTrace) — and writes the JSON report.
-func runBench(stdout, stderr io.Writer, outPath string, verbose bool) error {
+// (BenchmarkMonteCarloSPECTrace) — plus the compiled-System
+// repeated-query path, and writes the JSON report.
+func runBench(ctx context.Context, stdout, stderr io.Writer, outPath string, verbose bool) error {
 	logf := func(format string, args ...interface{}) {
 		if verbose {
 			fmt.Fprintf(stderr, format+"\n", args...)
@@ -88,7 +94,7 @@ func runBench(stdout, stderr io.Writer, outPath string, verbose bool) error {
 			var benchErr error
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
-				if _, err := montecarlo.ComponentMTTF(comp, montecarlo.Config{
+				if _, err := montecarlo.ComponentMTTF(ctx, comp, montecarlo.Config{
 					Trials: b.N, Seed: 1, Engine: engine,
 				}); err != nil {
 					benchErr = err
@@ -120,6 +126,71 @@ func runBench(stdout, stderr io.Writer, outPath string, verbose bool) error {
 		report.Speedup[c.name] = nsPerOp[c.name]["superposed"] / nsPerOp[c.name]["inverted"]
 		fmt.Fprintf(stdout, "%-22s inverted is %.1fx faster than superposed\n",
 			c.name, report.Speedup[c.name])
+	}
+
+	// Repeated-query benchmark: one compiled System answering the same
+	// Monte-Carlo query N times vs N flat MonteCarloMTTF calls.
+	report.SpeedupSystem = make(map[string]float64)
+	{
+		const trials = 20000
+		comps := []soferr.Component{{
+			Name: "batch", RatePerYear: units.PerSecondToPerYear(1e-4), Trace: batch,
+		}}
+		sys, err := soferr.NewSystem(comps)
+		if err != nil {
+			return err
+		}
+		opts := []soferr.EstimateOption{
+			soferr.WithTrials(trials), soferr.WithSeed(1), soferr.WithEngine(soferr.Inverted),
+		}
+		logf("bench RepeatedMonteCarloQuery/system")
+		var queryErr error
+		rSys := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.MTTF(ctx, soferr.MonteCarlo, opts...); err != nil {
+					queryErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if queryErr != nil {
+			return fmt.Errorf("bench RepeatedMonteCarloQuery/system: %w", queryErr)
+		}
+		logf("bench RepeatedMonteCarloQuery/flat")
+		rFlat := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := soferr.MonteCarloMTTF(comps, soferr.MonteCarloOptions{
+					Trials: trials, Seed: 1, Engine: soferr.Inverted,
+				}); err != nil {
+					queryErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if queryErr != nil {
+			return fmt.Errorf("bench RepeatedMonteCarloQuery/flat: %w", queryErr)
+		}
+		if rSys.N == 0 || rFlat.N == 0 {
+			return fmt.Errorf("bench RepeatedMonteCarloQuery: benchmark produced no iterations")
+		}
+		sysNs := float64(rSys.T.Nanoseconds()) / float64(rSys.N)
+		flatNs := float64(rFlat.T.Nanoseconds()) / float64(rFlat.N)
+		for _, entry := range []struct {
+			name string
+			ns   float64
+			res  testing.BenchmarkResult
+		}{{"system", sysNs, rSys}, {"flat", flatNs, rFlat}} {
+			report.Benchmarks = append(report.Benchmarks, benchEntry{
+				Name: "RepeatedMonteCarloQuery", Engine: entry.name, NsPerOp: entry.ns,
+				Iterations:  entry.res.N,
+				AllocsPerOp: entry.res.AllocsPerOp(),
+				BytesPerOp:  entry.res.AllocedBytesPerOp(),
+			})
+			fmt.Fprintf(stdout, "%-22s %-11s %14.1f ns/op\n", "RepeatedMCQuery", entry.name, entry.ns)
+		}
+		report.SpeedupSystem["RepeatedMonteCarloQuery"] = flatNs / sysNs
+		fmt.Fprintf(stdout, "%-22s compiled System is %.0fx faster than flat calls\n",
+			"RepeatedMCQuery", report.SpeedupSystem["RepeatedMonteCarloQuery"])
 	}
 
 	if outPath != "" {

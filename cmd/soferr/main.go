@@ -16,6 +16,7 @@
 //	-engine NAME     run: Monte-Carlo engine: inverted (default), superposed, naive
 //	-quick           run: shrink grids and trial counts
 //	-csv             run: emit CSV instead of aligned text
+//	-json            run: emit JSON (tables plus typed estimates)
 //	-v               log progress to stderr
 //
 // Flags for bench:
@@ -25,10 +26,14 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/soferr/soferr/internal/experiments"
 	"github.com/soferr/soferr/internal/montecarlo"
@@ -37,13 +42,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Interrupts cancel in-flight Monte-Carlo sweeps cleanly instead of
+	// killing the process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "soferr:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if len(args) == 0 {
 		usage(stdout)
 		return fmt.Errorf("missing command")
@@ -59,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		engineName   = fs.String("engine", "", "Monte-Carlo engine: inverted, superposed, or naive")
 		quick        = fs.Bool("quick", false, "shrink grids and trial counts")
 		asCSV        = fs.Bool("csv", false, "emit CSV instead of text")
+		asJSON       = fs.Bool("json", false, "emit JSON (tables plus typed estimates) instead of text")
 		verbose      = fs.Bool("v", false, "log progress to stderr")
 	)
 
@@ -71,7 +81,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	case "config":
 		r := experiments.NewRunner(experiments.Options{Quick: true})
-		tab, err := r.Table1()
+		tab, err := r.Table1(ctx)
 		if err != nil {
 			return err
 		}
@@ -101,6 +111,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *verbose {
 			opt.Log = stderr
 		}
+		if *asCSV && *asJSON {
+			return fmt.Errorf("run: -csv and -json are mutually exclusive")
+		}
 		r := experiments.NewRunner(opt)
 		var list []experiments.Experiment
 		if id == "all" {
@@ -112,23 +125,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			list = []experiments.Experiment{e}
 		}
+		// JSON output is one valid document — an array of tables — so
+		// `run all -json` stays machine-parseable; collect before
+		// emitting.
+		var jsonTables []*experiments.Table
 		for i, e := range list {
-			tab, err := e.Run(r)
+			tab, err := e.Run(r, ctx)
 			if err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)
 			}
-			if *asCSV {
+			switch {
+			case *asJSON:
+				jsonTables = append(jsonTables, tab)
+			case *asCSV:
 				if err := tab.WriteCSV(stdout); err != nil {
 					return err
 				}
-			} else {
+			default:
 				if err := tab.Fprint(stdout); err != nil {
 					return err
 				}
 			}
-			if i < len(list)-1 {
+			if i < len(list)-1 && !*asJSON {
 				fmt.Fprintln(stdout)
 			}
+		}
+		if *asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(jsonTables)
 		}
 		return nil
 
@@ -152,7 +177,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := bfs.Parse(rest); err != nil {
 			return err
 		}
-		return runBench(stdout, stderr, *benchOut, *benchVerbose)
+		return runBench(ctx, stdout, stderr, *benchOut, *benchVerbose)
 
 	case "help", "-h", "--help":
 		usage(stdout)
@@ -202,7 +227,7 @@ commands:
   bench        micro-benchmark the Monte-Carlo engines; write BENCH_mc.json
 
 flags for run:
-  -trials N -instructions N -seed N -engine inverted|superposed|naive -quick -csv -v
+  -trials N -instructions N -seed N -engine inverted|superposed|naive -quick -csv -json -v
 flags for workloads:
   -instructions N -seed N
 flags for bench:

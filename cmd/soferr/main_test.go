@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -9,7 +11,7 @@ import (
 func runCLI(t *testing.T, args ...string) (string, string, error) {
 	t.Helper()
 	var stdout, stderr bytes.Buffer
-	err := run(args, &stdout, &stderr)
+	err := run(context.Background(), args, &stdout, &stderr)
 	return stdout.String(), stderr.String(), err
 }
 
@@ -55,6 +57,43 @@ func TestRunCSV(t *testing.T) {
 	}
 	if strings.Contains(out, "==") {
 		t.Error("CSV output contains text-table decorations")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	// One document — an array of tables — even for multiple
+	// experiments, so the output is always parseable as a whole.
+	out, _, err := runCLI(t, "run", "fig4", "-quick", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type table struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	var tabs []table
+	if err := json.Unmarshal([]byte(out), &tabs); err != nil {
+		t.Fatalf("run -json emitted invalid JSON: %v\n%s", err, out)
+	}
+	if len(tabs) != 1 || tabs[0].ID != "fig4" || len(tabs[0].Rows) == 0 || len(tabs[0].Header) == 0 {
+		t.Errorf("run -json table malformed: %+v", tabs)
+	}
+
+	out, _, err = runCLI(t, "run", "fig3", "-quick", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var more []table
+	if err := json.Unmarshal([]byte(out), &more); err != nil {
+		t.Fatalf("second -json run invalid: %v", err)
+	}
+}
+
+func TestRunJSONAndCSVExclusive(t *testing.T) {
+	if _, _, err := runCLI(t, "run", "fig4", "-quick", "-json", "-csv"); err == nil {
+		t.Error("-json with -csv accepted")
 	}
 }
 

@@ -20,11 +20,16 @@
 //   - Masking traces (Trace): periodic descriptions of when a raw error
 //     in a component would be masked, built from schedules, bit vectors,
 //     or the bundled cycle-level processor simulator.
-//   - The AVF step (AVF, AVFMTTF) and the SOFR step (SOFRMTTF).
-//   - A first-principles Monte-Carlo estimator (MonteCarloMTTF) that
-//     makes neither assumption.
-//   - A SoftArch-style exact survival model (SoftArchMTTF) that computes
-//     the same quantity in closed form.
+//   - A compiled System (NewSystem): validate components once,
+//     precompute what every estimator shares, then query MTTF by method
+//     (AVFSOFR, MonteCarlo, SoftArch), compare methods on identical
+//     state (Compare), and ask distribution-level questions the flat
+//     API cannot express (Reliability, FailureQuantile).
+//   - The flat convenience functions for one-shot use: the AVF step
+//     (AVF, AVFMTTF), the SOFR step (SOFRMTTF), the first-principles
+//     Monte-Carlo estimator (MonteCarloMTTF), and the SoftArch-style
+//     exact survival model (SoftArchMTTF). These are thin wrappers over
+//     a single-use System and agree with it bit-for-bit.
 //   - Closed-form analytics for the paper's counter-example workloads
 //     (BusyIdleMTTF and friends).
 //   - A trace-driven out-of-order POWER4-like timing simulator and 21
@@ -33,12 +38,26 @@
 //
 // # Quick start
 //
+// Build a System once, then query it as often as you like — every
+// query after the first is answered from precompiled state:
+//
 //	tr, _ := soferr.BusyIdleTrace(24*time.Hour.Seconds(), 12*time.Hour.Seconds())
-//	avfEstimate, _ := soferr.AVFMTTF(10 /* errors/year */, tr)
-//	truth, _ := soferr.SoftArchMTTF([]soferr.Component{{
+//	sys, _ := soferr.NewSystem([]soferr.Component{{
 //		Name: "cache", RatePerYear: 10, Trace: tr,
 //	}})
-//	fmt.Printf("AVF says %.0fs, first principles say %.0fs\n", avfEstimate, truth)
+//	ctx := context.Background()
+//	ests, _ := sys.Compare(ctx, soferr.AVFSOFR, soferr.MonteCarlo, soferr.SoftArch)
+//	for _, e := range ests {
+//		fmt.Printf("%-10v MTTF %.0fs (FIT %.1f)\n", e.Method, e.MTTF, e.FIT)
+//	}
+//	surviveYear, _ := sys.Reliability(ctx, 365*86400)
+//	p01, _ := sys.FailureQuantile(ctx, 0.01)
+//	fmt.Printf("P(survive 1yr) = %.4f; 1%% of fleets fail by %.0fs\n", surviveYear, p01)
+//
+// Monte-Carlo queries take functional options (WithTrials, WithSeed,
+// WithEngine, WithWorkers, WithTimeLimit) and honor context
+// cancellation mid-run. Seeded runs are deterministic, so repeated
+// identical queries are served from a transparent cache.
 //
 // See examples/ for runnable programs and DESIGN.md / EXPERIMENTS.md for
 // the mapping from the paper's tables and figures to this code.

@@ -2,16 +2,20 @@
 // unprotected cache grow before the AVF shortcut misleads the MTTF
 // sign-off by more than a given margin?
 //
-// Uses the paper's Figure 3 closed form: a cache running an L-day loop,
-// busy for L/2, at per-bit rates for ground, avionics, and space
-// environments. For each environment the program sweeps cache sizes and
-// reports the first size where the AVF estimate deviates from the exact
-// MTTF by more than 5%.
+// A cache running an L-day loop, busy for L/2, at per-bit rates for
+// ground, avionics, and space environments. For each environment the
+// program compiles one System per cache size, compares the AVF estimate
+// against the exact first-principles MTTF on that shared state, and
+// reports the first size where the deviation exceeds 5%. The exact
+// query is cross-checked against the paper's Figure 3 closed form
+// (BusyIdleMTTF), which it must reproduce to machine precision.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math"
 
 	"github.com/soferr/soferr"
 )
@@ -23,6 +27,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	const (
 		day       = 86400.0
 		loopDays  = 8.0
@@ -34,6 +39,10 @@ func run() error {
 	fmt.Printf("workload: %.0f-day loop, busy half the time; AVF error threshold %.0f%%\n\n",
 		loopDays, threshold*100)
 
+	tr, err := soferr.BusyIdleTrace(l, a)
+	if err != nil {
+		return err
+	}
 	sizesMB := []float64{1, 4, 16, 64, 256, 1024, 4096}
 	for _, env := range []struct {
 		name  string
@@ -49,13 +58,24 @@ func run() error {
 		for _, mb := range sizesMB {
 			bits := mb * 8 * 1024 * 1024
 			rate := bits * env.scale * baseline // errors/year
-			avfMTTF, err := soferr.AVFMTTF(rate, mustTrace(l, a))
+			sys, err := soferr.NewSystem([]soferr.Component{{
+				Name: "cache", RatePerYear: rate, Trace: tr,
+			}})
 			if err != nil {
 				return err
 			}
-			truth, err := soferr.BusyIdleMTTF(rate, l, a)
+			ests, err := sys.Compare(ctx, soferr.AVFSOFR, soferr.SoftArch)
 			if err != nil {
 				return err
+			}
+			avfMTTF, truth := ests[0].MTTF, ests[1].MTTF
+			// The exact query must reproduce Derivation 1's closed form.
+			closed, err := soferr.BusyIdleMTTF(rate, l, a)
+			if err != nil {
+				return err
+			}
+			if math.Abs(truth-closed)/closed > 1e-9 {
+				return fmt.Errorf("System SoftArch %v disagrees with closed form %v", truth, closed)
 			}
 			relErr := (avfMTTF - truth) / truth
 			fmt.Printf("  %8.0fMB %12.4g s %12.4g s %+8.2f%%\n", mb, avfMTTF, truth, 100*relErr)
@@ -71,12 +91,4 @@ func run() error {
 		}
 	}
 	return nil
-}
-
-func mustTrace(l, a float64) soferr.Trace {
-	tr, err := soferr.BusyIdleTrace(l, a)
-	if err != nil {
-		panic(err)
-	}
-	return tr
 }

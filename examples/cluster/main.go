@@ -4,13 +4,18 @@
 // A datacenter runs C identical nodes on a diurnal load (busy by day,
 // idle by night — the paper's "day" workload). The standard projection
 // divides the per-node MTTF by C (sum of failure rates). This program
-// compares that against the first-principles MTTF as the cluster grows,
-// reproducing the failure mode of the paper's Figure 6(b): SOFR is fine
-// for small clusters but overestimates MTTF by up to 2x at scale,
-// because failures concentrate in the busy half of the day.
+// compiles one System per cluster size and compares that projection
+// against the first-principles MTTF as the cluster grows, reproducing
+// the failure mode of the paper's Figure 6(b): SOFR is fine for small
+// clusters but overestimates MTTF by up to 2x at scale, because
+// failures concentrate in the busy half of the day. The compiled System
+// also answers fleet-planning questions the MTTF alone cannot: the
+// probability of surviving a quarter, and the time by which 1% of
+// fleets have failed.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,6 +29,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	day, err := soferr.DayWorkload()
 	if err != nil {
 		return err
@@ -44,34 +50,46 @@ func run() error {
 		{"day (busy 12h/24h)", day},
 		{"week (busy 5d/7d)", week},
 	} {
-		perNode, err := soferr.SoftArchMTTF([]soferr.Component{{
+		node, err := soferr.NewSystem([]soferr.Component{{
 			Name: "node", RatePerYear: perNodeRate, Trace: wl.trace,
-		}})
+		}}, soferr.WithName("node"))
+		if err != nil {
+			return err
+		}
+		perNode, err := node.MTTF(ctx, soferr.SoftArch)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("workload %s: per-node MTTF = %.2f years\n",
-			wl.name, perNode/3.156e7)
-		fmt.Printf("%10s %14s %14s %9s\n", "nodes", "SOFR MTTF", "true MTTF", "SOFR err")
+			wl.name, perNode.MTTF/3.156e7)
+		fmt.Printf("%10s %14s %14s %9s %14s %14s\n",
+			"nodes", "SOFR MTTF", "true MTTF", "SOFR err", "P(survive 90d)", "1% fail by")
 		for _, c := range []int{8, 100, 1000, 5000, 50000, 500000} {
-			mttfs := make([]float64, c)
-			for i := range mttfs {
-				mttfs[i] = perNode
-			}
-			sofrEst, err := soferr.SOFRMTTF(mttfs)
-			if err != nil {
-				return err
-			}
 			// Superposition: C identical in-phase nodes fail like one
-			// node with C times the raw rate.
-			truth, err := soferr.SoftArchMTTF([]soferr.Component{{
+			// node with C times the raw rate, so one compiled System
+			// covers the whole cluster. The AVFSOFR method on it equals
+			// the per-node-MTTF/C projection.
+			cluster, err := soferr.NewSystem([]soferr.Component{{
 				Name: "cluster", RatePerYear: perNodeRate * float64(c), Trace: wl.trace,
-			}})
+			}}, soferr.WithName(fmt.Sprintf("cluster-%d", c)))
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%10d %12.0f s %12.0f s %+8.1f%%\n",
-				c, sofrEst, truth, 100*(sofrEst-truth)/truth)
+			ests, err := cluster.Compare(ctx, soferr.AVFSOFR, soferr.SoftArch)
+			if err != nil {
+				return err
+			}
+			sofrEst, truth := ests[0].MTTF, ests[1].MTTF
+			quarter, err := cluster.Reliability(ctx, 90*86400)
+			if err != nil {
+				return err
+			}
+			p01, err := cluster.FailureQuantile(ctx, 0.01)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%10d %12.0f s %12.0f s %+8.1f%% %14.4f %12.0f s\n",
+				c, sofrEst, truth, 100*(sofrEst-truth)/truth, quarter, p01)
 		}
 		fmt.Println()
 	}

@@ -1,6 +1,6 @@
-// Quickstart: estimate the soft-error MTTF of one component with the
-// AVF method and with first principles, and see where they agree and
-// where they diverge.
+// Quickstart: compile a one-component System and compare the AVF
+// shortcut against first principles, seeing where they agree and where
+// they diverge.
 //
 // The component is a large cache running a half-busy, half-idle daily
 // loop — the paper's canonical example. At today's terrestrial raw
@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,6 +23,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	const (
 		day  = 86400.0 // seconds
 		busy = day / 2
@@ -44,33 +46,50 @@ func run() error {
 		{"high altitude (5x)", 50},
 		{"accelerated test (2000x)", 20000},
 	} {
-		avfMTTF, err := soferr.AVFMTTF(env.ratePerYear, tr)
-		if err != nil {
-			return err
-		}
-		truth, err := soferr.SoftArchMTTF([]soferr.Component{{
+		// One compiled System per environment: both methods query the
+		// same validated, precomputed state.
+		sys, err := soferr.NewSystem([]soferr.Component{{
 			Name: "cache", RatePerYear: env.ratePerYear, Trace: tr,
-		}})
+		}}, soferr.WithName(env.name))
 		if err != nil {
 			return err
 		}
+		ests, err := sys.Compare(ctx, soferr.AVFSOFR, soferr.SoftArch)
+		if err != nil {
+			return err
+		}
+		avfEst, truth := ests[0].MTTF, ests[1].MTTF
 		fmt.Printf("%-28s %12.0f s %12.0f s %+7.1f%%\n",
-			env.name, avfMTTF, truth, 100*(avfMTTF-truth)/truth)
+			env.name, avfEst, truth, 100*(avfEst-truth)/truth)
 	}
 
 	fmt.Println("\nCross-checking first principles with Monte Carlo (200k trials):")
-	mc, err := soferr.MonteCarloMTTF([]soferr.Component{{
-		Name: "cache", RatePerYear: 20000, Trace: tr,
-	}}, soferr.MonteCarloOptions{Trials: 200000, Seed: 42})
-	if err != nil {
-		return err
-	}
-	truth, err := soferr.SoftArchMTTF([]soferr.Component{{
+	sys, err := soferr.NewSystem([]soferr.Component{{
 		Name: "cache", RatePerYear: 20000, Trace: tr,
 	}})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Monte Carlo: %.0f s +/- %.0f s; exact: %.0f s\n", mc.MTTF, mc.StdErr, truth)
+	mc, err := sys.MTTF(ctx, soferr.MonteCarlo, soferr.WithTrials(200000), soferr.WithSeed(42))
+	if err != nil {
+		return err
+	}
+	exact, err := sys.MTTF(ctx, soferr.SoftArch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Monte Carlo: %.0f s +/- %.0f s; exact: %.0f s\n", mc.MTTF, mc.StdErr, exact.MTTF)
+
+	// Distribution-level questions the flat MTTF API cannot answer:
+	rel, err := sys.Reliability(ctx, day)
+	if err != nil {
+		return err
+	}
+	median, err := sys.FailureQuantile(ctx, 0.5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("P(survive first day) = %.3f; median TTF = %.0f s (mean %.0f s)\n",
+		rel, median, exact.MTTF)
 	return nil
 }

@@ -72,6 +72,12 @@ func RatePerSecond(n, s float64) float64 {
 	return units.ComponentRatePerSecond(n, s)
 }
 
+// RatePerYear returns the component raw error rate in errors/year (the
+// public API's convention) for N elements at scaling factor S.
+func RatePerYear(n, s float64) float64 {
+	return units.ComponentRatePerYear(n, s)
+}
+
 // UnitRatesPerSecond returns the Section 4.1 rates for the int, fp, and
 // decode units in errors/second, the three units the paper applies
 // simultaneously for processor-level failure in cluster experiments.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/soferr/soferr/internal/analytic"
@@ -12,7 +13,7 @@ import (
 // Table1 reproduces the paper's Table 1: the base POWER4-like processor
 // configuration, read back from the simulator's default config so the
 // table can never drift from the implementation.
-func (r *Runner) Table1() (*Table, error) {
+func (r *Runner) Table1(ctx context.Context) (*Table, error) {
 	cfg := turandot.DefaultConfig()
 	t := &Table{
 		ID:     "table1",
@@ -48,7 +49,7 @@ func (r *Runner) Table1() (*Table, error) {
 }
 
 // Table2 renders the Table 2 design space.
-func (r *Runner) Table2() (*Table, error) {
+func (r *Runner) Table2(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "table2",
 		Title:  "Design space explored (Table 2)",
@@ -96,7 +97,7 @@ func (r *Runner) Table2() (*Table, error) {
 // baseline rate (10 errors/year for the full cache) and at 3x and 5x.
 // The values come from the paper's own closed form (Derivation 1), so
 // this table matches the paper exactly, not just in shape.
-func (r *Runner) Fig3() (*Table, error) {
+func (r *Runner) Fig3(ctx context.Context) (*Table, error) {
 	const cacheBits = 1e9
 	baseRate := units.ComponentRatePerSecond(cacheBits, 1) // 10 errors/year
 	scales := []float64{1, 3, 5}
@@ -131,7 +132,7 @@ func (r *Runner) Fig3() (*Table, error) {
 
 // Fig4 reproduces Figure 4: the SOFR-step error for systems of N
 // components whose time to failure has density 2/sqrt(pi) e^(-x^2).
-func (r *Runner) Fig4() (*Table, error) {
+func (r *Runner) Fig4(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig4",
 		Title:  "SOFR-step relative error, half-Gaussian components (Figure 4)",

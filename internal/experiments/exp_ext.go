@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/soferr/soferr/internal/design"
@@ -21,7 +22,7 @@ import (
 // (CV, = 1 for exponential) and Kolmogorov-Smirnov distance from the
 // exponential with the same mean. It quantifies *how* the SOFR
 // assumption fails, not just by how much the MTTF moves.
-func (r *Runner) ExtDist() (*Table, error) {
+func (r *Runner) ExtDist(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:    "extdist",
 		Title: "Extension: TTF distribution shape vs exponential, day workload",
@@ -41,6 +42,7 @@ func (r *Runner) ExtDist() (*Table, error) {
 		rate := design.RatePerSecond(ns, 1)
 		r.logf("extdist: NxS=%g", ns)
 		samples, err := montecarlo.SystemTTFSamples(
+			ctx,
 			[]montecarlo.Component{{Rate: rate, Trace: day}},
 			montecarlo.Config{Trials: r.opt.Trials, Seed: r.opt.Seed ^ uint64(ns), Engine: r.opt.Engine},
 		)
@@ -69,7 +71,7 @@ func (r *Runner) ExtDist() (*Table, error) {
 // nodes are phase-staggered instead of in phase. k stagger groups shift
 // the busy window by period/k each; k=1 is the paper's in-phase worst
 // case, and large k approximates a globally load-balanced fleet.
-func (r *Runner) ExtPhase() (*Table, error) {
+func (r *Runner) ExtPhase(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:    "extphase",
 		Title: "Extension: SOFR error vs phase stagger, day workload cluster",
@@ -85,7 +87,7 @@ func (r *Runner) ExtPhase() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rate := design.RatePerSecond(ns, 1)
+	rateY := design.RatePerYear(ns, 1)
 	staggers := []int{1, 2, 4, 8, 24}
 	if r.opt.Quick {
 		staggers = []int{1, 24}
@@ -93,7 +95,7 @@ func (r *Runner) ExtPhase() (*Table, error) {
 	// Per-component MTTF is phase-independent (a shift does not change
 	// a single component's failure law from its own start of time), so
 	// SOFR's estimate is the same for every stagger.
-	comp, err := r.mcMTTF(rate, day, 0xFA5E)
+	comp, err := r.mcMTTF(ctx, rateY, day, 0xFA5E)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +123,7 @@ func (r *Runner) ExtPhase() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sys, err := r.mcMTTF(rate*float64(c), union, 0xFA5E^uint64(k))
+		sys, err := r.mcMTTF(ctx, rateY*float64(c), union, 0xFA5E^uint64(k))
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +148,7 @@ func (r *Runner) ExtPhase() (*Table, error) {
 // (Section 1); phase structure lengthens the effective L without
 // lengthening the trace, pulling the SOFR error onset to smaller
 // NxS x C.
-func (r *Runner) ExtPhases() (*Table, error) {
+func (r *Runner) ExtPhases(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:    "extphases",
 		Title: "Extension: SOFR error with and without workload macro-phases",
@@ -166,9 +168,8 @@ func (r *Runner) ExtPhases() (*Table, error) {
 			return nil, err
 		}
 		for _, ns := range nsGrid {
-			rate := design.RatePerSecond(ns, 1)
 			r.logf("extphases: %s NxS=%g", name, ns)
-			sofrMTTF, mcSys, err := r.sofrPoint(rate, proc, c, uint64(ns)^0xBEEF)
+			sofrMTTF, mcSys, err := r.sofrPoint(ctx, design.RatePerYear(ns, 1), proc, c, uint64(ns)^0xBEEF)
 			if err != nil {
 				return nil, err
 			}

@@ -1,30 +1,48 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"github.com/soferr/soferr"
 	"github.com/soferr/soferr/internal/design"
-	"github.com/soferr/soferr/internal/montecarlo"
 	"github.com/soferr/soferr/internal/sofr"
 	"github.com/soferr/soferr/internal/softarch"
 	"github.com/soferr/soferr/internal/trace"
 	"github.com/soferr/soferr/internal/units"
 )
 
-// mcMTTF runs the Monte-Carlo engine for a single (possibly
-// superposed) component.
-func (r *Runner) mcMTTF(rate float64, tr trace.Trace, seedSalt uint64) (montecarlo.Result, error) {
-	return montecarlo.ComponentMTTF(
-		montecarlo.Component{Rate: rate, Trace: tr},
-		montecarlo.Config{Trials: r.opt.Trials, Seed: r.opt.Seed ^ seedSalt, Engine: r.opt.Engine},
-	)
+// pointSystem compiles a single (possibly superposed) design-space
+// component into a queryable System.
+func (r *Runner) pointSystem(ratePerYear float64, tr trace.Trace) (*soferr.System, error) {
+	return soferr.NewSystem([]soferr.Component{{Name: "point", RatePerYear: ratePerYear, Trace: tr}})
+}
+
+// mcOpts are the Monte-Carlo settings shared by every design-space
+// query, salted so distinct points get distinct streams.
+func (r *Runner) mcOpts(seedSalt uint64) []soferr.EstimateOption {
+	return []soferr.EstimateOption{
+		soferr.WithTrials(r.opt.Trials),
+		soferr.WithSeed(r.opt.Seed ^ seedSalt),
+		soferr.WithEngine(r.opt.Engine),
+	}
+}
+
+// mcMTTF runs the Monte-Carlo estimator for a single (possibly
+// superposed) component through the public System API.
+func (r *Runner) mcMTTF(ctx context.Context, ratePerYear float64, tr trace.Trace, seedSalt uint64) (soferr.Estimate, error) {
+	sys, err := r.pointSystem(ratePerYear, tr)
+	if err != nil {
+		return soferr.Estimate{}, err
+	}
+	return sys.MTTF(ctx, soferr.MonteCarlo, r.mcOpts(seedSalt)...)
 }
 
 // Fig5 reproduces Figure 5: the error of the AVF step relative to Monte
 // Carlo for the synthesized workloads (day, week, combined) at
 // representative values of N x S, for a single component (C = 1).
-func (r *Runner) Fig5() (*Table, error) {
+func (r *Runner) Fig5(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:    "fig5",
 		Title: "AVF-step error vs Monte Carlo, synthesized workloads, C=1 (Figure 5)",
@@ -47,7 +65,7 @@ func (r *Runner) Fig5() (*Table, error) {
 		for _, ns := range grid {
 			rate := design.RatePerSecond(ns, 1)
 			r.logf("fig5: %v NxS=%g", w, ns)
-			mc, err := r.mcMTTF(rate, tr, uint64(ns))
+			mc, err := r.mcMTTF(ctx, design.RatePerYear(ns, 1), tr, uint64(ns))
 			if err != nil {
 				return nil, err
 			}
@@ -73,11 +91,11 @@ func (r *Runner) Fig5() (*Table, error) {
 }
 
 // sofrPoint evaluates one SOFR design point: C identical components
-// with the given per-component rate and trace. It returns the SOFR
-// estimate (from the Monte-Carlo component MTTF, as in Section 4.2) and
-// the Monte-Carlo system MTTF computed by superposition.
-func (r *Runner) sofrPoint(rate float64, tr trace.Trace, c int, salt uint64) (sofrMTTF, mcSystem float64, err error) {
-	comp, err := r.mcMTTF(rate, tr, salt)
+// with the given per-component rate (errors/year) and trace. It returns
+// the SOFR estimate (from the Monte-Carlo component MTTF, as in Section
+// 4.2) and the Monte-Carlo system MTTF computed by superposition.
+func (r *Runner) sofrPoint(ctx context.Context, ratePerYear float64, tr trace.Trace, c int, salt uint64) (sofrMTTF, mcSystem float64, err error) {
+	comp, err := r.mcMTTF(ctx, ratePerYear, tr, salt)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -85,7 +103,7 @@ func (r *Runner) sofrPoint(rate float64, tr trace.Trace, c int, salt uint64) (so
 	if err != nil {
 		return 0, 0, err
 	}
-	sys, err := r.mcMTTF(rate*float64(c), tr, salt^0xC0FFEE)
+	sys, err := r.mcMTTF(ctx, ratePerYear*float64(c), tr, salt^0xC0FFEE)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -94,7 +112,7 @@ func (r *Runner) sofrPoint(rate float64, tr trace.Trace, c int, salt uint64) (so
 
 // Fig6a reproduces Figure 6(a): SOFR error vs Monte Carlo for clusters
 // of C processors running SPEC benchmarks, at representative N x S.
-func (r *Runner) Fig6a() (*Table, error) {
+func (r *Runner) Fig6a(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:    "fig6a",
 		Title: "SOFR-step error vs Monte Carlo, SPEC workloads (Figure 6a)",
@@ -116,10 +134,9 @@ func (r *Runner) Fig6a() (*Table, error) {
 			return nil, err
 		}
 		for _, ns := range nsGrid {
-			rate := design.RatePerSecond(ns, 1)
 			for _, c := range cGrid {
 				r.logf("fig6a: %s NxS=%g C=%d", b, ns, c)
-				sofrMTTF, mcSys, err := r.sofrPoint(rate, proc, c, uint64(ns)+uint64(c))
+				sofrMTTF, mcSys, err := r.sofrPoint(ctx, design.RatePerYear(ns, 1), proc, c, uint64(ns)+uint64(c))
 				if err != nil {
 					return nil, err
 				}
@@ -139,7 +156,7 @@ func (r *Runner) Fig6a() (*Table, error) {
 
 // Fig6b reproduces Figure 6(b): SOFR error vs Monte Carlo for clusters
 // running the synthesized workloads.
-func (r *Runner) Fig6b() (*Table, error) {
+func (r *Runner) Fig6b(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:    "fig6b",
 		Title: "SOFR-step error vs Monte Carlo, synthesized workloads (Figure 6b)",
@@ -161,10 +178,9 @@ func (r *Runner) Fig6b() (*Table, error) {
 			return nil, err
 		}
 		for _, ns := range nsGrid {
-			rate := design.RatePerSecond(ns, 1)
 			for _, c := range cGrid {
 				r.logf("fig6b: %v NxS=%g C=%d", w, ns, c)
-				sofrMTTF, mcSys, err := r.sofrPoint(rate, tr, c, uint64(ns)+uint64(c)*3)
+				sofrMTTF, mcSys, err := r.sofrPoint(ctx, design.RatePerYear(ns, 1), tr, c, uint64(ns)+uint64(c)*3)
 				if err != nil {
 					return nil, err
 				}
@@ -184,9 +200,10 @@ func (r *Runner) Fig6b() (*Table, error) {
 }
 
 // Sec54 reproduces Section 5.4: SoftArch (first-principles survival
-// model) vs Monte Carlo across the design space. The paper reports <1%
-// discrepancy for single components and <2% for full systems.
-func (r *Runner) Sec54() (*Table, error) {
+// model) vs Monte Carlo across the design space, comparing both methods
+// on one compiled System per point. The paper reports <1% discrepancy
+// for single components and <2% for full systems.
+func (r *Runner) Sec54(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "sec54",
 		Title:  "SoftArch vs Monte Carlo across the design space (Section 5.4)",
@@ -218,24 +235,26 @@ func (r *Runner) Sec54() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rate := design.RatePerSecond(p.ns, 1) * float64(p.c)
-		exact, err := softarch.ComponentMTTF(rate, tr)
+		sys, err := r.pointSystem(design.RatePerYear(p.ns, 1)*float64(p.c), tr)
 		if err != nil {
 			return nil, err
 		}
 		r.logf("sec54: %s", p.name)
-		mc, err := r.mcMTTF(rate, tr, uint64(p.ns)^uint64(p.c))
+		ests, err := sys.CompareWith(ctx, r.mcOpts(uint64(p.ns)^uint64(p.c)),
+			soferr.SoftArch, soferr.MonteCarlo)
 		if err != nil {
 			return nil, err
 		}
-		rel := (exact - mc.MTTF) / mc.MTTF
+		exact, mc := ests[0], ests[1]
+		rel := (exact.MTTF - mc.MTTF) / mc.MTTF
 		if p.c == 1 {
 			worstSingle = math.Max(worstSingle, math.Abs(rel))
 		} else {
 			worstSystem = math.Max(worstSystem, math.Abs(rel))
 		}
-		t.AddRow(p.name, fmtSeconds(exact), fmtSeconds(mc.MTTF), fmtPct(rel),
+		t.AddRow(p.name, fmtSeconds(exact.MTTF), fmtSeconds(mc.MTTF), fmtPct(rel),
 			fmt.Sprintf("%.2f%%", 100*mc.RelStdErr()))
+		t.AddEstimates(p.name, ests...)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("worst single-component |err| = %.2f%% (paper: <1%%), worst system |err| = %.2f%% (paper: <2%%)",

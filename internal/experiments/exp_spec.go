@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"github.com/soferr/soferr"
 	"github.com/soferr/soferr/internal/avf"
 	"github.com/soferr/soferr/internal/design"
-	"github.com/soferr/soferr/internal/montecarlo"
 	"github.com/soferr/soferr/internal/sofr"
 	"github.com/soferr/soferr/internal/trace"
 	"github.com/soferr/soferr/internal/units"
@@ -26,7 +27,7 @@ func (r *Runner) sec51Benchmarks() []string {
 // both the AVF step (per component) and the SOFR step (whole processor)
 // agree with Monte Carlo to within sampling noise (<0.5% in the paper's
 // 1M-trial runs).
-func (r *Runner) Sec51() (*Table, error) {
+func (r *Runner) Sec51(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:    "sec51",
 		Title: "AVF+SOFR vs Monte Carlo: uniprocessor running SPEC (Section 5.1)",
@@ -53,8 +54,8 @@ func (r *Runner) Sec51() (*Table, error) {
 			{"regfile", design.RegFileRatePerYear, traces.RegFile},
 		}
 		var (
-			mcComponents []montecarlo.Component
-			mttfsForSOFR []float64
+			procComponents []soferr.Component
+			mttfsForSOFR   []float64
 		)
 		for _, c := range comps {
 			rate := units.PerYearToPerSecond(c.ratePY)
@@ -70,7 +71,7 @@ func (r *Runner) Sec51() (*Table, error) {
 				continue
 			}
 			r.logf("sec51: %s/%s", b, c.name)
-			mc, err := r.mcMTTF(rate, c.mask, hash51(b, c.name))
+			mc, err := r.mcMTTF(ctx, c.ratePY, c.mask, hash51(b, c.name))
 			if err != nil {
 				return nil, err
 			}
@@ -79,20 +80,22 @@ func (r *Runner) Sec51() (*Table, error) {
 			t.AddRow(b, c.name,
 				fmt.Sprintf("%.3f", avfVal), fmtSci(c.ratePY),
 				fmtSeconds(mc.MTTF), fmtSeconds(avfMTTF), fmtPct(rel))
-			mcComponents = append(mcComponents, montecarlo.Component{
-				Name: c.name, Rate: rate, Trace: c.mask,
+			procComponents = append(procComponents, soferr.Component{
+				Name: c.name, RatePerYear: c.ratePY, Trace: c.mask,
 			})
 			mttfsForSOFR = append(mttfsForSOFR, mc.MTTF)
 		}
-		// Whole-processor SOFR vs whole-processor Monte Carlo.
+		// Whole-processor SOFR vs whole-processor Monte Carlo, both
+		// against one compiled processor System.
 		sofrMTTF, err := sofr.SystemMTTF(mttfsForSOFR)
 		if err != nil {
 			return nil, err
 		}
-		sys, err := montecarlo.SystemMTTF(mcComponents, montecarlo.Config{
-			Trials: r.opt.Trials, Seed: r.opt.Seed ^ hash51(b, "system"),
-			Engine: r.opt.Engine,
-		})
+		proc, err := soferr.NewSystem(procComponents, soferr.WithName(b+" processor"))
+		if err != nil {
+			return nil, err
+		}
+		sys, err := proc.MTTF(ctx, soferr.MonteCarlo, r.mcOpts(hash51(b, "system"))...)
 		if err != nil {
 			return nil, err
 		}
@@ -100,6 +103,7 @@ func (r *Runner) Sec51() (*Table, error) {
 		worstSOFR = math.Max(worstSOFR, math.Abs(rel))
 		t.AddRow(b, "processor (SOFR)", "-", "-",
 			fmtSeconds(sys.MTTF), fmtSeconds(sofrMTTF), fmtPct(rel))
+		t.AddEstimates(b+" processor", sys)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("worst AVF-step |err| = %.2f%%, worst SOFR-step |err| = %.2f%%", 100*worst, 100*worstSOFR),

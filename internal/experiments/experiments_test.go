@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -52,7 +53,7 @@ func pct(t *testing.T, cell string) float64 {
 }
 
 func TestTable1ContainsPaperValues(t *testing.T) {
-	tab, err := quickRunner().Table1()
+	tab, err := quickRunner().Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestTable1ContainsPaperValues(t *testing.T) {
 }
 
 func TestTable2ContainsDesignSpace(t *testing.T) {
-	tab, err := quickRunner().Table2()
+	tab, err := quickRunner().Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestTable2ContainsDesignSpace(t *testing.T) {
 }
 
 func TestFig3ErrorsGrowWithRateAndL(t *testing.T) {
-	tab, err := quickRunner().Fig3()
+	tab, err := quickRunner().Fig3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestFig3ErrorsGrowWithRateAndL(t *testing.T) {
 }
 
 func TestFig4MatchesPaperAnchors(t *testing.T) {
-	tab, err := quickRunner().Fig4()
+	tab, err := quickRunner().Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestFig4MatchesPaperAnchors(t *testing.T) {
 }
 
 func TestFig5DayErrorsGrowWithNS(t *testing.T) {
-	tab, err := quickRunner().Fig5()
+	tab, err := quickRunner().Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestFig5DayErrorsGrowWithNS(t *testing.T) {
 }
 
 func TestFig6bDayAndWeekShapes(t *testing.T) {
-	tab, err := quickRunner().Fig6b()
+	tab, err := quickRunner().Fig6b(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestFig6bDayAndWeekShapes(t *testing.T) {
 }
 
 func TestSec54SoftArchAgreesWithMC(t *testing.T) {
-	tab, err := quickRunner().Sec54()
+	tab, err := quickRunner().Sec54(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,10 +200,30 @@ func TestSec54SoftArchAgreesWithMC(t *testing.T) {
 			t.Errorf("point %s: SoftArch vs MC = %v%%, want within MC noise", row[0], e)
 		}
 	}
+	// The System.Compare migration attaches typed estimates: one
+	// SoftArch + one Monte-Carlo estimate per point.
+	if len(tab.Estimates) != 2*len(tab.Rows) {
+		t.Fatalf("got %d estimates for %d rows, want 2 per row", len(tab.Estimates), len(tab.Rows))
+	}
+	for _, pe := range tab.Estimates {
+		if pe.Point == "" || pe.Estimate.MTTF <= 0 {
+			t.Errorf("malformed point estimate: %+v", pe)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"id": "sec54"`, `"estimates"`, `"method": "montecarlo"`, `"method": "softarch"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %q", want)
+		}
+	}
 }
 
 func TestSec51SmallErrors(t *testing.T) {
-	tab, err := quickRunner().Sec51()
+	tab, err := quickRunner().Sec51(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +293,7 @@ func TestFmtHelpers(t *testing.T) {
 }
 
 func TestFig6aSmallCAccurate(t *testing.T) {
-	tab, err := quickRunner().Fig6a()
+	tab, err := quickRunner().Fig6a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +312,7 @@ func TestFig6aSmallCAccurate(t *testing.T) {
 }
 
 func TestExtDistShapes(t *testing.T) {
-	tab, err := quickRunner().ExtDist()
+	tab, err := quickRunner().ExtDist(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +335,7 @@ func TestExtDistShapes(t *testing.T) {
 }
 
 func TestExtPhaseStaggerKillsError(t *testing.T) {
-	tab, err := quickRunner().ExtPhase()
+	tab, err := quickRunner().ExtPhase(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +350,7 @@ func TestExtPhaseStaggerKillsError(t *testing.T) {
 }
 
 func TestExtPhasesRuns(t *testing.T) {
-	tab, err := quickRunner().ExtPhases()
+	tab, err := quickRunner().ExtPhases(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

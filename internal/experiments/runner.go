@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -222,8 +223,9 @@ type Experiment struct {
 	Title string
 	// Paper cites where the artifact appears in the paper.
 	Paper string
-	// Run executes the experiment.
-	Run func(r *Runner) (*Table, error)
+	// Run executes the experiment. Cancelling ctx aborts in-flight
+	// Monte-Carlo sweeps and returns ctx.Err().
+	Run func(r *Runner, ctx context.Context) (*Table, error)
 }
 
 var registry = []Experiment{

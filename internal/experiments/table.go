@@ -2,30 +2,59 @@ package experiments
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"strings"
+
+	"github.com/soferr/soferr"
 )
 
 // Table is a rendered experiment result: the rows/series a paper table
 // or figure reports.
 type Table struct {
 	// ID is the experiment identifier (e.g. "fig3").
-	ID string
+	ID string `json:"id"`
 	// Title describes the table.
-	Title string
+	Title string `json:"title"`
 	// Header names the columns.
-	Header []string
+	Header []string `json:"header"`
 	// Rows holds the cells, one slice per row.
-	Rows [][]string
+	Rows [][]string `json:"rows"`
 	// Notes carries caveats and paper-comparison remarks.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
+	// Estimates carries the typed estimates behind the rendered cells,
+	// for experiments that query compiled Systems; the JSON output
+	// emits them alongside the string grid.
+	Estimates []PointEstimate `json:"estimates,omitempty"`
+}
+
+// PointEstimate labels one soferr.Estimate with the design point that
+// produced it.
+type PointEstimate struct {
+	Point    string          `json:"point"`
+	Estimate soferr.Estimate `json:"estimate"`
 }
 
 // AddRow appends a row.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+}
+
+// AddEstimates attaches typed estimates for one design point.
+func (t *Table) AddEstimates(point string, ests ...soferr.Estimate) {
+	for _, e := range ests {
+		t.Estimates = append(t.Estimates, PointEstimate{Point: point, Estimate: e})
+	}
+}
+
+// WriteJSON renders the table as one JSON object (the machine-readable
+// counterpart of Fprint/WriteCSV), including any typed estimates.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
 }
 
 // Fprint renders the table as aligned text.

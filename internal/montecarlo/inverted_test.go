@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestInvertedAgainstClosedForm(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := ComponentMTTF(Component{Rate: tt.rate, Trace: tr},
+			res, err := ComponentMTTF(context.Background(), Component{Rate: tt.rate, Trace: tr},
 				Config{Trials: 150000, Seed: 7, Engine: Inverted})
 			if err != nil {
 				t.Fatal(err)
@@ -78,7 +79,7 @@ func TestEnginesAgreeWithinStdErr(t *testing.T) {
 				comps := []Component{{Rate: rate, Trace: trc.tr}}
 				results := make(map[Engine]Result)
 				for _, e := range []Engine{Superposed, Naive, Inverted} {
-					res, err := SystemMTTF(comps, Config{
+					res, err := SystemMTTF(context.Background(), comps, Config{
 						Trials: trials, Seed: seed + uint64(e)<<32, Engine: e,
 					})
 					if err != nil {
@@ -118,11 +119,11 @@ func TestInvertedSystem(t *testing.T) {
 		{Name: "b", Rate: 0.05, Trace: b},
 		{Name: "c", Rate: 0.02, Trace: c},
 	}
-	sup, err := SystemMTTF(comps, Config{Trials: 120000, Seed: 3, Engine: Superposed})
+	sup, err := SystemMTTF(context.Background(), comps, Config{Trials: 120000, Seed: 3, Engine: Superposed})
 	if err != nil {
 		t.Fatal(err)
 	}
-	inv, err := SystemMTTF(comps, Config{Trials: 120000, Seed: 4, Engine: Inverted})
+	inv, err := SystemMTTF(context.Background(), comps, Config{Trials: 120000, Seed: 4, Engine: Inverted})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +137,11 @@ func TestInvertedDeterminismAcrossWorkerCounts(t *testing.T) {
 	cfg := func(workers int) Config {
 		return Config{Trials: 20000, Seed: 42, Workers: workers, Engine: Inverted}
 	}
-	one, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, cfg(1))
+	one, err := ComponentMTTF(context.Background(), Component{Rate: 0.1, Trace: tr}, cfg(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	four, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, cfg(4))
+	four, err := ComponentMTTF(context.Background(), Component{Rate: 0.1, Trace: tr}, cfg(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestInvertedFallbackNonInvertibleTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	const rate = 0.05
-	res, err := ComponentMTTF(Component{Rate: rate, Trace: ll},
+	res, err := ComponentMTTF(context.Background(), Component{Rate: rate, Trace: ll},
 		Config{Trials: 60000, Seed: 21, Engine: Inverted})
 	if err != nil {
 		t.Fatal(err)
@@ -176,11 +177,11 @@ func TestInvertedSamplesMatchSummary(t *testing.T) {
 	tr := busyIdle(t, 10, 4)
 	comps := []Component{{Rate: 0.1, Trace: tr}}
 	cfg := Config{Trials: 30000, Seed: 5, Engine: Inverted}
-	sum, err := SystemMTTF(comps, cfg)
+	sum, err := SystemMTTF(context.Background(), comps, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	samples, err := SystemTTFSamples(comps, cfg)
+	samples, err := SystemTTFSamples(context.Background(), comps, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,6 +218,7 @@ func TestFailFastOnBadTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = SystemMTTF(
+		context.Background(),
 		[]Component{{Name: "bad", Rate: 1, Trace: p}},
 		Config{Trials: 1 << 20, Seed: 1, Engine: Superposed, MaxArrivalsPerTrial: 100},
 	)
@@ -264,11 +266,11 @@ func TestSuperposedAliasMatchesLinearScan(t *testing.T) {
 	for i := range comps {
 		comps[i] = Component{Rate: rate, Trace: tr}
 	}
-	multi, err := SystemMTTF(comps, Config{Trials: 100000, Seed: 11, Engine: Superposed})
+	multi, err := SystemMTTF(context.Background(), comps, Config{Trials: 100000, Seed: 11, Engine: Superposed})
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := ComponentMTTF(Component{Rate: rate * c, Trace: tr},
+	single, err := ComponentMTTF(context.Background(), Component{Rate: rate * c, Trace: tr},
 		Config{Trials: 100000, Seed: 12, Engine: Superposed})
 	if err != nil {
 		t.Fatal(err)
@@ -288,7 +290,7 @@ func BenchmarkEngines(b *testing.B) {
 	comps := []Component{{Rate: 0.01, Trace: tr}}
 	for _, e := range []Engine{Superposed, Naive, Inverted} {
 		b.Run(e.String(), func(b *testing.B) {
-			_, err := SystemMTTF(comps, Config{Trials: b.N, Seed: 1, Engine: e})
+			_, err := SystemMTTF(context.Background(), comps, Config{Trials: b.N, Seed: 1, Engine: e})
 			if err != nil {
 				b.Fatal(err)
 			}

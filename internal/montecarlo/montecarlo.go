@@ -33,6 +33,7 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -143,12 +144,86 @@ func (r Result) RelStdErr() float64 { return r.StdErr / r.MTTF }
 // rate = 0, so the system can never fail.
 var ErrNoFailurePossible = errors.New("montecarlo: no component can ever fail (zero rate or zero AVF)")
 
-// SystemMTTF estimates the MTTF of a series system of components.
-// Failure times are folded into streaming accumulators as they are
-// produced, so memory is O(workers), not O(trials).
-func SystemMTTF(components []Component, cfg Config) (Result, error) {
-	res, _, err := systemMTTFImpl(components, cfg, false)
+// Compiled is a validated series system with every engine's shared
+// precomputation done once — rate totals, the alias table for
+// superposed component attribution, and the exposure-inversion samplers
+// — so that repeated queries (different trial counts, seeds, or
+// engines) skip straight to the trial loop.
+type Compiled struct {
+	components []Component
+	total      float64
+	// anyVulnerable records whether some component can ever fail; when
+	// false every MTTF query returns ErrNoFailurePossible (the system
+	// itself is still a valid object — exact estimators report +Inf).
+	anyVulnerable bool
+	alias         *aliasTable // nil unless len(components) > 2
+	inv           []invComp
+}
+
+// Compile validates components and precomputes the per-engine shared
+// state. The component slice is copied; the traces are shared and must
+// not be mutated afterwards.
+func Compile(components []Component) (*Compiled, error) {
+	if len(components) == 0 {
+		return nil, errors.New("montecarlo: no components")
+	}
+	c := &Compiled{components: make([]Component, len(components))}
+	copy(c.components, components)
+	for i := range c.components {
+		comp := &c.components[i]
+		if comp.Rate < 0 || math.IsNaN(comp.Rate) || math.IsInf(comp.Rate, 0) {
+			return nil, fmt.Errorf("montecarlo: component %d (%s) has invalid rate %v", i, comp.Name, comp.Rate)
+		}
+		if comp.Trace == nil {
+			return nil, fmt.Errorf("montecarlo: component %d (%s) has nil trace", i, comp.Name)
+		}
+		c.total += comp.Rate
+		if comp.Rate > 0 && comp.Trace.AVF() > 0 {
+			c.anyVulnerable = true
+		}
+	}
+	if len(c.components) > 2 {
+		weights := make([]float64, len(c.components))
+		for i := range c.components {
+			weights[i] = c.components[i].Rate
+		}
+		c.alias = newAliasTable(weights)
+	}
+	c.inv = newInvComps(c.components)
+	return c, nil
+}
+
+// Components returns the compiled component list (shared; read-only).
+func (c *Compiled) Components() []Component { return c.components }
+
+// TotalRate returns the summed raw error rate in errors/second.
+func (c *Compiled) TotalRate() float64 { return c.total }
+
+// MTTF estimates the system MTTF. Failure times are folded into
+// streaming accumulators as they are produced, so memory is O(workers),
+// not O(trials). Cancelling ctx aborts the run mid-trial and returns
+// ctx.Err(), distinct from any trial error.
+func (c *Compiled) MTTF(ctx context.Context, cfg Config) (Result, error) {
+	res, _, err := c.run(ctx, cfg, false)
 	return res, err
+}
+
+// TTFSamples runs the engine and returns the raw per-trial failure
+// times sorted ascending; see SystemTTFSamples.
+func (c *Compiled) TTFSamples(ctx context.Context, cfg Config) ([]float64, error) {
+	_, samples, err := c.run(ctx, cfg, true)
+	return samples, err
+}
+
+// SystemMTTF estimates the MTTF of a series system of components: a
+// single-use convenience over Compile + MTTF. Cancelling ctx aborts the
+// run and returns ctx.Err().
+func SystemMTTF(ctx context.Context, components []Component, cfg Config) (Result, error) {
+	c, err := Compile(components)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.MTTF(ctx, cfg)
 }
 
 // trialBlock is the unit of work a worker claims at a time. Blocks are
@@ -156,30 +231,17 @@ func SystemMTTF(components []Component, cfg Config) (Result, error) {
 // bit-identical for any worker count or scheduling.
 const trialBlock = 4096
 
-// systemMTTFImpl runs the engine. With collect it also returns the raw
+// run executes the engine. With collect it also returns the raw
 // per-trial failure times (in trial order); otherwise samples are
 // folded into per-block Welford accumulators and never materialized.
-func systemMTTFImpl(components []Component, cfg Config, collect bool) (Result, []float64, error) {
-	if len(components) == 0 {
-		return Result{}, nil, errors.New("montecarlo: no components")
+func (c *Compiled) run(ctx context.Context, cfg Config, collect bool) (Result, []float64, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, nil, err
 	}
-	total := 0.0
-	anyVulnerable := false
-	for i, c := range components {
-		if c.Rate < 0 || math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0) {
-			return Result{}, nil, fmt.Errorf("montecarlo: component %d (%s) has invalid rate %v", i, c.Name, c.Rate)
-		}
-		if c.Trace == nil {
-			return Result{}, nil, fmt.Errorf("montecarlo: component %d (%s) has nil trace", i, c.Name)
-		}
-		total += c.Rate
-		if c.Rate > 0 && c.Trace.AVF() > 0 {
-			anyVulnerable = true
-		}
-	}
-	if !anyVulnerable {
+	if !c.anyVulnerable {
 		return Result{}, nil, ErrNoFailurePossible
 	}
+	components := c.components
 
 	trials := cfg.Trials
 	if trials <= 0 {
@@ -201,7 +263,7 @@ func systemMTTFImpl(components []Component, cfg Config, collect bool) (Result, [
 		maxArrivals = 100_000_000
 	}
 
-	// Per-engine precomputation, shared read-only across workers.
+	// Per-engine trial function over the precompiled shared state.
 	var trial func(r *xrand.Rand) (float64, error)
 	switch engine {
 	case Naive:
@@ -209,21 +271,12 @@ func systemMTTFImpl(components []Component, cfg Config, collect bool) (Result, [
 			return trialNaive(components, r, maxArrivals)
 		}
 	case Inverted:
-		comps := newInvComps(components)
 		trial = func(r *xrand.Rand) (float64, error) {
-			return trialInverted(comps, r, maxArrivals)
+			return trialInverted(c.inv, r, maxArrivals)
 		}
 	default:
-		var alias *aliasTable
-		if len(components) > 2 {
-			weights := make([]float64, len(components))
-			for i := range components {
-				weights[i] = components[i].Rate
-			}
-			alias = newAliasTable(weights)
-		}
 		trial = func(r *xrand.Rand) (float64, error) {
-			return trialSuperposed(components, total, alias, r, maxArrivals)
+			return trialSuperposed(components, c.total, c.alias, r, maxArrivals)
 		}
 	}
 
@@ -251,6 +304,20 @@ func systemMTTFImpl(components []Component, cfg Config, collect bool) (Result, [
 		// One bad trace means every sibling's remaining trials are
 		// wasted work: cancel instead of burning the trial budget.
 		canceled.Store(true)
+	}
+	// Relay ctx cancellation onto the flag the trial loops already
+	// poll, so a context check costs one atomic load per trial instead
+	// of a channel select.
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				canceled.Store(true)
+			case <-stop:
+			}
+		}()
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -290,6 +357,11 @@ func systemMTTFImpl(components []Component, cfg Config, collect bool) (Result, [
 		}()
 	}
 	wg.Wait()
+	// Context cancellation wins over trial errors: the caller asked the
+	// run to stop, and partial-trial errors after that are moot.
+	if err := ctx.Err(); err != nil {
+		return Result{}, nil, err
+	}
 	if trialErr != nil {
 		return Result{}, nil, trialErr
 	}
@@ -306,8 +378,8 @@ func systemMTTFImpl(components []Component, cfg Config, collect bool) (Result, [
 }
 
 // ComponentMTTF estimates the MTTF of a single component.
-func ComponentMTTF(c Component, cfg Config) (Result, error) {
-	return SystemMTTF([]Component{c}, cfg)
+func ComponentMTTF(ctx context.Context, c Component, cfg Config) (Result, error) {
+	return SystemMTTF(ctx, []Component{c}, cfg)
 }
 
 // trialStream derives the deterministic stream for one trial. Using a

@@ -1,8 +1,11 @@
 package montecarlo
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"github.com/soferr/soferr/internal/analytic"
 	"github.com/soferr/soferr/internal/numeric"
@@ -25,7 +28,7 @@ func TestAlwaysVulnerableIsExponential(t *testing.T) {
 		t.Fatal(err)
 	}
 	const rate = 0.25
-	res, err := ComponentMTTF(Component{Name: "c", Rate: rate, Trace: tr}, Config{Trials: 100000, Seed: 1})
+	res, err := ComponentMTTF(context.Background(), Component{Name: "c", Rate: rate, Trace: tr}, Config{Trials: 100000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +56,7 @@ func TestAgainstClosedForm(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := ComponentMTTF(Component{Rate: tt.rate, Trace: tr}, Config{Trials: 150000, Seed: 7})
+			res, err := ComponentMTTF(context.Background(), Component{Rate: tt.rate, Trace: tr}, Config{Trials: 150000, Seed: 7})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -72,11 +75,11 @@ func TestNaiveMatchesSuperposed(t *testing.T) {
 		{Name: "a", Rate: 0.1, Trace: a},
 		{Name: "b", Rate: 0.05, Trace: b},
 	}
-	sup, err := SystemMTTF(comps, Config{Trials: 120000, Seed: 3, Engine: Superposed})
+	sup, err := SystemMTTF(context.Background(), comps, Config{Trials: 120000, Seed: 3, Engine: Superposed})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nai, err := SystemMTTF(comps, Config{Trials: 120000, Seed: 4, Engine: Naive})
+	nai, err := SystemMTTF(context.Background(), comps, Config{Trials: 120000, Seed: 4, Engine: Naive})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +99,11 @@ func TestSuperpositionManyIdenticalComponents(t *testing.T) {
 	for i := range comps {
 		comps[i] = Component{Rate: rate, Trace: tr}
 	}
-	multi, err := SystemMTTF(comps, Config{Trials: 100000, Seed: 11})
+	multi, err := SystemMTTF(context.Background(), comps, Config{Trials: 100000, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := ComponentMTTF(Component{Rate: rate * c, Trace: tr}, Config{Trials: 100000, Seed: 12})
+	single, err := ComponentMTTF(context.Background(), Component{Rate: rate * c, Trace: tr}, Config{Trials: 100000, Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +115,11 @@ func TestSuperpositionManyIdenticalComponents(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	tr := busyIdle(t, 10, 4)
 	cfg := Config{Trials: 20000, Seed: 42}
-	a, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, cfg)
+	a, err := ComponentMTTF(context.Background(), Component{Rate: 0.1, Trace: tr}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, cfg)
+	b, err := ComponentMTTF(context.Background(), Component{Rate: 0.1, Trace: tr}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,11 +130,11 @@ func TestDeterminism(t *testing.T) {
 
 func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	tr := busyIdle(t, 10, 4)
-	one, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, Config{Trials: 20000, Seed: 42, Workers: 1})
+	one, err := ComponentMTTF(context.Background(), Component{Rate: 0.1, Trace: tr}, Config{Trials: 20000, Seed: 42, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	four, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, Config{Trials: 20000, Seed: 42, Workers: 4})
+	four, err := ComponentMTTF(context.Background(), Component{Rate: 0.1, Trace: tr}, Config{Trials: 20000, Seed: 42, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,8 +145,8 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 
 func TestSeedMatters(t *testing.T) {
 	tr := busyIdle(t, 10, 4)
-	a, _ := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, Config{Trials: 5000, Seed: 1})
-	b, _ := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, Config{Trials: 5000, Seed: 2})
+	a, _ := ComponentMTTF(context.Background(), Component{Rate: 0.1, Trace: tr}, Config{Trials: 5000, Seed: 1})
+	b, _ := ComponentMTTF(context.Background(), Component{Rate: 0.1, Trace: tr}, Config{Trials: 5000, Seed: 2})
 	if a.MTTF == b.MTTF {
 		t.Error("different seeds produced identical estimates")
 	}
@@ -157,7 +160,7 @@ func TestFractionalVulnerability(t *testing.T) {
 		t.Fatal(err)
 	}
 	const rate = 0.2
-	res, err := ComponentMTTF(Component{Rate: rate, Trace: p}, Config{Trials: 100000, Seed: 5})
+	res, err := ComponentMTTF(context.Background(), Component{Rate: rate, Trace: p}, Config{Trials: 100000, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,38 +174,38 @@ func TestErrNoFailurePossible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ComponentMTTF(Component{Rate: 1, Trace: never}, Config{Trials: 10}); err != ErrNoFailurePossible {
+	if _, err := ComponentMTTF(context.Background(), Component{Rate: 1, Trace: never}, Config{Trials: 10}); err != ErrNoFailurePossible {
 		t.Errorf("err = %v, want ErrNoFailurePossible", err)
 	}
 	always, err := trace.Always(10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ComponentMTTF(Component{Rate: 0, Trace: always}, Config{Trials: 10}); err != ErrNoFailurePossible {
+	if _, err := ComponentMTTF(context.Background(), Component{Rate: 0, Trace: always}, Config{Trials: 10}); err != ErrNoFailurePossible {
 		t.Errorf("zero rate err = %v, want ErrNoFailurePossible", err)
 	}
 }
 
 func TestInputValidation(t *testing.T) {
-	if _, err := SystemMTTF(nil, Config{}); err == nil {
+	if _, err := SystemMTTF(context.Background(), nil, Config{}); err == nil {
 		t.Error("empty system should fail")
 	}
 	tr := busyIdle(t, 10, 5)
-	if _, err := SystemMTTF([]Component{{Rate: math.NaN(), Trace: tr}}, Config{}); err == nil {
+	if _, err := SystemMTTF(context.Background(), []Component{{Rate: math.NaN(), Trace: tr}}, Config{}); err == nil {
 		t.Error("NaN rate should fail")
 	}
-	if _, err := SystemMTTF([]Component{{Rate: 1, Trace: nil}}, Config{}); err == nil {
+	if _, err := SystemMTTF(context.Background(), []Component{{Rate: 1, Trace: nil}}, Config{}); err == nil {
 		t.Error("nil trace should fail")
 	}
 }
 
 func TestStdErrShrinksWithTrials(t *testing.T) {
 	tr := busyIdle(t, 10, 5)
-	small, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, Config{Trials: 2000, Seed: 9})
+	small, err := ComponentMTTF(context.Background(), Component{Rate: 0.1, Trace: tr}, Config{Trials: 2000, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	large, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, Config{Trials: 128000, Seed: 9})
+	large, err := ComponentMTTF(context.Background(), Component{Rate: 0.1, Trace: tr}, Config{Trials: 128000, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +225,7 @@ func TestLongLoopTraceWorks(t *testing.T) {
 		t.Fatal(err)
 	}
 	const rate = 0.05
-	res, err := ComponentMTTF(Component{Rate: rate, Trace: ll}, Config{Trials: 60000, Seed: 21})
+	res, err := ComponentMTTF(context.Background(), Component{Rate: rate, Trace: ll}, Config{Trials: 60000, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,8 +243,77 @@ func BenchmarkSuperposedTrial(b *testing.B) {
 	}
 	comps := []Component{{Rate: 0.1, Trace: tr}}
 	b.ResetTimer()
-	_, err = SystemMTTF(comps, Config{Trials: b.N, Seed: 1})
+	_, err = SystemMTTF(context.Background(), comps, Config{Trials: b.N, Seed: 1})
 	if err != nil && err != ErrNoFailurePossible {
 		b.Fatal(err)
+	}
+}
+
+func TestCompiledReuseMatchesSingleUse(t *testing.T) {
+	// One Compiled system must answer repeated queries — across trial
+	// counts, seeds, and engines — bit-identically to fresh single-use
+	// runs: the precomputed state is shared, never mutated.
+	tr := busyIdle(t, 10, 4)
+	comps := []Component{
+		{Name: "a", Rate: 0.05, Trace: tr},
+		{Name: "b", Rate: 0.2, Trace: busyIdle(t, 10, 7)},
+		{Name: "c", Rate: 0.1, Trace: tr},
+	}
+	c, err := Compile(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		{Trials: 20000, Seed: 1, Engine: Superposed},
+		{Trials: 20000, Seed: 1, Engine: Inverted},
+		{Trials: 5000, Seed: 9, Engine: Naive},
+		{Trials: 20000, Seed: 1, Engine: Superposed}, // repeat of the first
+	}
+	for _, cfg := range cfgs {
+		got, err := c.MTTF(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SystemMTTF(context.Background(), comps, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("cfg %+v: compiled %+v != single-use %+v", cfg, got, want)
+		}
+	}
+}
+
+func TestContextCancellationMidRun(t *testing.T) {
+	tr := busyIdle(t, 10, 4)
+	comps := []Component{{Rate: 0.1, Trace: tr}}
+
+	// Pre-cancelled: no work at all.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SystemMTTF(pre, comps, Config{Trials: 1000, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+
+	// Cancelled mid-run: a huge trial budget that would take far longer
+	// than the cancellation delay must stop early with ctx.Err(), and
+	// return it distinctly (not as a trial error).
+	ctx, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel2()
+	}()
+	start := time.Now()
+	_, err := SystemMTTF(ctx, comps, Config{Trials: 500_000_000, Seed: 1, Engine: Inverted})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-run cancellation returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, should abort promptly", elapsed)
+	}
+
+	// TTFSamples path honors cancellation too.
+	if _, err := SystemTTFSamples(pre, comps, Config{Trials: 1000, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled samples run returned %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -13,8 +14,12 @@ import (
 // mean. Samples expose the shape of the failure distribution, which is
 // what the SOFR step assumes to be exponential — see TTFStats for
 // direct tests of that assumption.
-func SystemTTFSamples(components []Component, cfg Config) ([]float64, error) {
-	_, samples, err := systemMTTFImpl(components, cfg, true)
+func SystemTTFSamples(ctx context.Context, components []Component, cfg Config) ([]float64, error) {
+	c, err := Compile(components)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := c.TTFSamples(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -11,11 +12,11 @@ import (
 func TestSamplesSortedAndMeanMatches(t *testing.T) {
 	tr := busyIdle(t, 10, 5)
 	cfg := Config{Trials: 50000, Seed: 3}
-	res, err := ComponentMTTF(Component{Rate: 0.1, Trace: tr}, cfg)
+	res, err := ComponentMTTF(context.Background(), Component{Rate: 0.1, Trace: tr}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	samples, err := SystemTTFSamples([]Component{{Rate: 0.1, Trace: tr}}, cfg)
+	samples, err := SystemTTFSamples(context.Background(), []Component{{Rate: 0.1, Trace: tr}}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestTTFStatsExponentialHasUnitCV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	samples, err := SystemTTFSamples([]Component{{Rate: 0.5, Trace: tr}}, Config{Trials: 100000, Seed: 5})
+	samples, err := SystemTTFSamples(context.Background(), []Component{{Rate: 0.5, Trace: tr}}, Config{Trials: 100000, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestTTFStatsMaskedIsNotExponential(t *testing.T) {
 	// (Section 3.2). (At very large rate*busy almost all failures land
 	// in the first busy window and the TTF is again nearly exponential.)
 	tr := busyIdle(t, 10, 5)
-	samples, err := SystemTTFSamples([]Component{{Rate: 0.2, Trace: tr}}, Config{Trials: 100000, Seed: 6})
+	samples, err := SystemTTFSamples(context.Background(), []Component{{Rate: 0.2, Trace: tr}}, Config{Trials: 100000, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestTTFStatsLowRateIsNearlyExponential(t *testing.T) {
 	// Section 3.2.1: as rate*L -> 0 the masked TTF tends to exponential
 	// with rate lambda*AVF.
 	tr := busyIdle(t, 10, 5)
-	samples, err := SystemTTFSamples([]Component{{Rate: 1e-3, Trace: tr}}, Config{Trials: 100000, Seed: 7})
+	samples, err := SystemTTFSamples(context.Background(), []Component{{Rate: 1e-3, Trace: tr}}, Config{Trials: 100000, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package softarch
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -112,6 +113,7 @@ func TestMatchesMonteCarloRandomTraces(t *testing.T) {
 			t.Fatal(err)
 		}
 		mc, err := montecarlo.ComponentMTTF(
+			context.Background(),
 			montecarlo.Component{Rate: rate, Trace: p},
 			montecarlo.Config{Trials: 80000, Seed: uint64(trial) + 1},
 		)
@@ -156,7 +158,7 @@ func TestSystemHeterogeneousAgainstMC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc, err := montecarlo.SystemMTTF([]montecarlo.Component{
+	mc, err := montecarlo.SystemMTTF(context.Background(), []montecarlo.Component{
 		{Name: "a", Rate: 0.05, Trace: a},
 		{Name: "b", Rate: 0.2, Trace: b},
 	}, montecarlo.Config{Trials: 120000, Seed: 77})

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/soferr/soferr/internal/numeric"
 )
@@ -205,6 +206,9 @@ func Concat(traces ...*Piecewise) (*Piecewise, error) {
 type LongLoop struct {
 	phases []LoopPhase
 	starts []float64 // phase start offsets
+	// cumExp[i] is the exposure accumulated before phase i:
+	// sum over earlier phases of Reps x Inner.TotalExposure().
+	cumExp []float64
 	period float64
 	avf    float64
 }
@@ -225,6 +229,7 @@ func NewLongLoop(phases ...LoopPhase) (*LongLoop, error) {
 	l := &LongLoop{
 		phases: make([]LoopPhase, len(phases)),
 		starts: make([]float64, len(phases)+1),
+		cumExp: make([]float64, len(phases)+1),
 	}
 	copy(l.phases, phases)
 	var dur, exp numeric.KahanSum
@@ -236,11 +241,13 @@ func NewLongLoop(phases ...LoopPhase) (*LongLoop, error) {
 			return nil, fmt.Errorf("trace: phase %d has nil inner trace", i)
 		}
 		l.starts[i] = dur.Sum()
+		l.cumExp[i] = exp.Sum()
 		d := float64(ph.Reps) * ph.Inner.Period()
 		dur.Add(d)
-		exp.Add(d * ph.Inner.AVF())
+		exp.Add(float64(ph.Reps) * ph.Inner.TotalExposure())
 	}
 	l.starts[len(phases)] = dur.Sum()
+	l.cumExp[len(phases)] = exp.Sum()
 	l.period = dur.Sum()
 	l.avf = exp.Sum() / l.period
 	return l, nil
@@ -265,7 +272,12 @@ func (l *LongLoop) AVF() float64 { return l.avf }
 // VulnAt locates the phase containing t and defers to the inner trace.
 func (l *LongLoop) VulnAt(t float64) float64 {
 	x := wrap(t, l.period)
-	// Find the phase: starts is sorted.
+	i := l.findPhase(x)
+	return l.phases[i].Inner.VulnAt(x - l.starts[i])
+}
+
+// findPhase returns the index of the phase containing x in [0, period).
+func (l *LongLoop) findPhase(x float64) int {
 	lo, hi := 0, len(l.phases)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -275,8 +287,64 @@ func (l *LongLoop) VulnAt(t float64) float64 {
 			lo = mid + 1
 		}
 	}
-	ph := l.phases[lo]
-	return ph.Inner.VulnAt(x - l.starts[lo])
+	if lo >= len(l.phases) {
+		lo = len(l.phases) - 1
+	}
+	return lo
+}
+
+// TotalExposure returns m(Period): the expected unmasked exposure of
+// one full loop (= AVF x Period), composed from the phases without
+// enumerating repetitions.
+func (l *LongLoop) TotalExposure() float64 { return l.cumExp[len(l.phases)] }
+
+// Exposure returns m(x), the exposure accumulated over [0, x) for x in
+// [0, Period]: whole inner repetitions contribute multiples of the
+// inner trace's total exposure, and the remainder is one inner lookup.
+func (l *LongLoop) Exposure(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= l.period {
+		return l.cumExp[len(l.phases)]
+	}
+	i := l.findPhase(x)
+	ph := l.phases[i]
+	inPhase := x - l.starts[i]
+	k := math.Floor(inPhase / ph.Inner.Period())
+	if k > float64(ph.Reps-1) {
+		k = float64(ph.Reps - 1)
+	}
+	rem := inPhase - k*ph.Inner.Period()
+	return l.cumExp[i] + k*ph.Inner.TotalExposure() + ph.Inner.Exposure(rem)
+}
+
+// InvertExposure is the right-continuous generalized inverse of
+// Exposure, mirroring Piecewise.InvertExposure: the first instant at
+// which the loop's exposure accumulates beyond e, clamped to Period for
+// e >= TotalExposure(). With it, LongLoop satisfies the Monte-Carlo
+// engine's ExposureInverter capability, so day-scale combined schedules
+// sample first unmasked arrivals in closed form instead of thinning
+// billions of raw arrivals.
+func (l *LongLoop) InvertExposure(e float64) float64 {
+	total := l.cumExp[len(l.phases)]
+	if e < 0 {
+		e = 0
+	}
+	if e >= total {
+		return l.period
+	}
+	// First phase that accumulates beyond e; phases with zero exposure
+	// (idle inner traces) are skipped exactly as flat segments are.
+	i := sort.Search(len(l.phases), func(i int) bool { return l.cumExp[i+1] > e })
+	ph := l.phases[i]
+	inPhase := e - l.cumExp[i]
+	perRep := ph.Inner.TotalExposure() // > 0 because cumExp advances
+	k := math.Floor(inPhase / perRep)
+	if k > float64(ph.Reps-1) {
+		k = float64(ph.Reps - 1)
+	}
+	return l.starts[i] + k*ph.Inner.Period() + ph.Inner.InvertExposure(inPhase-k*perRep)
 }
 
 // SurvivalIntegral composes the phases analytically: within one phase of

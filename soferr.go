@@ -1,6 +1,7 @@
 package soferr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -8,7 +9,6 @@ import (
 	"github.com/soferr/soferr/internal/avf"
 	"github.com/soferr/soferr/internal/montecarlo"
 	"github.com/soferr/soferr/internal/sofr"
-	"github.com/soferr/soferr/internal/softarch"
 	"github.com/soferr/soferr/internal/trace"
 	"github.com/soferr/soferr/internal/units"
 	"github.com/soferr/soferr/internal/workload"
@@ -206,38 +206,41 @@ type MonteCarloResult struct {
 // MonteCarloMTTF estimates the series-system MTTF from first principles
 // (Section 4.3 of the paper): exponential raw-error arrivals filtered
 // by each component's masking trace, with no AVF or SOFR assumption.
+//
+// It is the convenience path over a single-use System: equal components
+// and settings give results bit-identical to
+// NewSystem(components) + MTTF(ctx, MonteCarlo, ...). Build a System
+// directly to amortize compilation and caching across queries, and for
+// cancellation.
 func MonteCarloMTTF(components []Component, opt MonteCarloOptions) (MonteCarloResult, error) {
-	mcs, err := toMonteCarlo(components)
+	sys, err := NewSystem(components)
 	if err != nil {
 		return MonteCarloResult{}, err
 	}
-	res, err := montecarlo.SystemMTTF(mcs, montecarlo.Config{
-		Trials: opt.Trials,
-		Seed:   opt.Seed,
-		Engine: opt.Engine,
-	})
+	est, err := sys.MTTF(context.Background(), MonteCarlo,
+		WithTrials(opt.Trials), WithSeed(opt.Seed), WithEngine(opt.Engine))
 	if err != nil {
 		return MonteCarloResult{}, err
 	}
-	return MonteCarloResult{MTTF: res.MTTF, StdErr: res.StdErr, Trials: res.Trials}, nil
+	return MonteCarloResult{MTTF: est.MTTF, StdErr: est.StdErr, Trials: est.Trials}, nil
 }
 
 // SoftArchMTTF computes the exact first-principles MTTF, in seconds, of
 // a series system via the SoftArch-style survival model (Section 5.4).
 // It returns +Inf if no component can ever fail.
+//
+// It is the convenience path over a single-use System; see NewSystem
+// for the build-once/query-many surface.
 func SoftArchMTTF(components []Component) (float64, error) {
-	sas := make([]softarch.Component, len(components))
-	for i, c := range components {
-		if c.Trace == nil {
-			return 0, fmt.Errorf("soferr: component %s has nil trace", c.Name)
-		}
-		sas[i] = softarch.Component{
-			Name:  c.Name,
-			Rate:  units.PerYearToPerSecond(c.RatePerYear),
-			Trace: c.Trace,
-		}
+	sys, err := NewSystem(components)
+	if err != nil {
+		return 0, err
 	}
-	return softarch.SystemMTTF(sas)
+	est, err := sys.MTTF(context.Background(), SoftArch)
+	if err != nil {
+		return 0, err
+	}
+	return est.MTTF, nil
 }
 
 // BusyIdleMTTF returns the exact MTTF, in seconds, of a component with

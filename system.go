@@ -1,0 +1,631 @@
+package soferr
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/soferr/soferr/internal/avf"
+	"github.com/soferr/soferr/internal/montecarlo"
+	"github.com/soferr/soferr/internal/sofr"
+	"github.com/soferr/soferr/internal/softarch"
+	"github.com/soferr/soferr/internal/trace"
+	"github.com/soferr/soferr/internal/units"
+)
+
+// Method selects an MTTF estimation method on a compiled System.
+type Method int
+
+const (
+	// AVFSOFR is the industry-standard two-step shortcut: derate each
+	// component's raw rate by its AVF (Equation 1), sum the derated
+	// failure rates, and invert (Equations 2-3). Deterministic.
+	AVFSOFR Method = iota + 1
+	// MonteCarlo estimates the MTTF from first principles by sampling
+	// raw-error arrivals against the masking traces (Section 4.3).
+	// Stochastic: estimates carry a standard error, and equal seeds give
+	// bit-identical results.
+	MonteCarlo
+	// SoftArch computes the same first-principles quantity in closed
+	// form via the survival integral (Section 5.4). Deterministic.
+	SoftArch
+)
+
+// String returns the method's CLI/JSON name.
+func (m Method) String() string {
+	switch m {
+	case AVFSOFR:
+		return "avf+sofr"
+	case MonteCarlo:
+		return "montecarlo"
+	case SoftArch:
+		return "softarch"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// MethodByName parses a method name as printed by String (plus the
+// aliases "avfsofr" and "mc").
+func MethodByName(name string) (Method, error) {
+	switch name {
+	case "avf+sofr", "avfsofr":
+		return AVFSOFR, nil
+	case "montecarlo", "mc":
+		return MonteCarlo, nil
+	case "softarch":
+		return SoftArch, nil
+	default:
+		return 0, fmt.Errorf("soferr: unknown method %q (want avf+sofr, montecarlo, or softarch)", name)
+	}
+}
+
+// Methods returns all estimation methods in comparison order.
+func Methods() []Method { return []Method{AVFSOFR, MonteCarlo, SoftArch} }
+
+// DefaultTrials is the default Monte-Carlo trial count.
+const DefaultTrials = montecarlo.DefaultTrials
+
+// ErrNoFailurePossible is returned by Monte-Carlo queries on a system
+// in which no component can ever fail (every rate or AVF is zero). The
+// deterministic methods report an infinite MTTF instead.
+var ErrNoFailurePossible = montecarlo.ErrNoFailurePossible
+
+// Estimate is the unified result of one MTTF query: every method
+// returns the same shape, so estimates from different methods (or
+// different systems) compare directly.
+type Estimate struct {
+	// Method produced this estimate.
+	Method Method
+	// MTTF is the estimated mean time to failure in seconds (+Inf when
+	// the system cannot fail).
+	MTTF float64
+	// FIT is the equivalent failure rate in failures per 1e9
+	// device-hours (0 when the system cannot fail).
+	FIT float64
+	// StdErr is the standard error of the estimate in seconds; zero for
+	// the deterministic methods.
+	StdErr float64
+	// Trials and Seed record the Monte-Carlo settings used; zero for
+	// the deterministic methods.
+	Trials int
+	Seed   uint64
+	// Engine is the Monte-Carlo trial implementation used (zero
+	// otherwise).
+	Engine Engine
+	// Cached reports whether the estimate was served from the system's
+	// query cache rather than recomputed. Cached Monte-Carlo estimates
+	// are bit-identical to recomputation: equal seeds, trials, and
+	// engine always produce equal results.
+	Cached bool
+}
+
+// RelStdErr returns StdErr/MTTF (zero for deterministic estimates with
+// a finite MTTF, NaN when MTTF is zero).
+func (e Estimate) RelStdErr() float64 {
+	if math.IsInf(e.MTTF, 1) {
+		return 0
+	}
+	return e.StdErr / e.MTTF
+}
+
+// MarshalJSON renders the estimate with stable string names for method
+// and engine and JSON-safe encodings for non-finite floats ("+Inf",
+// "NaN" as strings).
+func (e Estimate) MarshalJSON() ([]byte, error) {
+	out := map[string]interface{}{
+		"method":       e.Method.String(),
+		"mttf_seconds": jsonFloat(e.MTTF),
+		"fit":          jsonFloat(e.FIT),
+	}
+	if e.Method == MonteCarlo {
+		out["stderr_seconds"] = jsonFloat(e.StdErr)
+		out["trials"] = e.Trials
+		out["seed"] = e.Seed
+		out["engine"] = e.Engine.String()
+		out["cached"] = e.Cached
+	}
+	return json.Marshal(out)
+}
+
+// jsonFloat marshals non-finite float64s as strings, which
+// encoding/json rejects as bare numbers.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 1) {
+		return []byte(`"+Inf"`), nil
+	}
+	if math.IsInf(v, -1) {
+		return []byte(`"-Inf"`), nil
+	}
+	if math.IsNaN(v) {
+		return []byte(`"NaN"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// SystemOption configures NewSystem.
+type SystemOption func(*systemConfig)
+
+type systemConfig struct {
+	name    string
+	noCache bool
+}
+
+// WithName labels the system in error messages.
+func WithName(name string) SystemOption {
+	return func(c *systemConfig) { c.name = name }
+}
+
+// WithoutQueryCache disables memoization of query results. Queries are
+// deterministic at fixed settings, so the cache is semantically
+// transparent; disabling it is useful only for benchmarking the
+// underlying estimators.
+func WithoutQueryCache() SystemOption {
+	return func(c *systemConfig) { c.noCache = true }
+}
+
+// EstimateOption tunes one MTTF/Compare query. Zero or unset values
+// mean defaults, so options can be threaded through unconditionally.
+type EstimateOption func(*estimateSettings)
+
+type estimateSettings struct {
+	trials    int
+	seed      uint64
+	engine    Engine
+	workers   int
+	timeLimit time.Duration
+}
+
+// WithTrials sets the Monte-Carlo trial count (default DefaultTrials).
+func WithTrials(n int) EstimateOption {
+	return func(s *estimateSettings) { s.trials = n }
+}
+
+// WithSeed selects the deterministic random stream; equal seeds (with
+// equal trials and engine) give bit-identical estimates.
+func WithSeed(seed uint64) EstimateOption {
+	return func(s *estimateSettings) { s.seed = seed }
+}
+
+// WithEngine selects the Monte-Carlo trial implementation (default
+// Superposed; use Inverted for rate- and AVF-independent trial cost).
+func WithEngine(e Engine) EstimateOption {
+	return func(s *estimateSettings) { s.engine = e }
+}
+
+// WithWorkers bounds Monte-Carlo parallelism (default GOMAXPROCS).
+// Worker count never changes the estimate, only the wall time.
+func WithWorkers(n int) EstimateOption {
+	return func(s *estimateSettings) { s.workers = n }
+}
+
+// WithTimeLimit bounds the query's wall time: the query's context is
+// cancelled after d, and an over-budget Monte-Carlo run returns
+// context.DeadlineExceeded.
+func WithTimeLimit(d time.Duration) EstimateOption {
+	return func(s *estimateSettings) { s.timeLimit = d }
+}
+
+// exposureTrace is the capability the distribution-level queries need:
+// a trace whose cumulative exposure m(t) can be evaluated and inverted.
+// Both materialized trace kinds (Piecewise and the lazy LongLoop that
+// backs CombinedWorkload) provide it.
+type exposureTrace interface {
+	Trace
+	TotalExposure() float64
+	Exposure(x float64) float64
+	InvertExposure(e float64) float64
+}
+
+// System is an immutable, precompiled series system: NewSystem
+// validates the components once, converts units, and precomputes the
+// state every estimator shares — per-second rates, per-component AVF
+// MTTFs, the Monte-Carlo alias table and exposure-inversion samplers,
+// and the rate-weighted union trace behind the distribution queries.
+// All queries are safe for concurrent use, and deterministic queries
+// (plus seeded Monte-Carlo runs, which are deterministic too) are
+// memoized, so a long-lived System answers repeated traffic at
+// cache-hit cost.
+type System struct {
+	name       string
+	components []Component
+	noCache    bool
+
+	mc *montecarlo.Compiled
+
+	// avfSofr is the precomputed AVF+SOFR estimate (deterministic).
+	avfSofr float64
+	avfErr  error
+
+	// Union of the live components (rate-weighted), for SoftArch and
+	// the distribution queries. It is compiled lazily (unionOnce) so
+	// Monte-Carlo-only users — including the flat MonteCarloMTTF
+	// wrapper — never pay the O(segments) merge. unionErr defers
+	// union-impossible configurations (mismatched periods,
+	// non-materialized traces in a multi-component system) to the
+	// queries that need the union.
+	unionOnce  sync.Once
+	unionRate  float64 // errors/second, live components only
+	unionTrace exposureTrace
+	unionErr   error
+
+	softArchOnce sync.Once
+	softArchMTTF float64
+	softArchErr  error
+
+	mcCache     sync.Map // mcCacheKey -> Estimate
+	mcCacheSize atomic.Int64
+}
+
+// maxCachedEstimates bounds the Monte-Carlo query cache. A serving
+// System fed per-request seeds or trial counts would otherwise grow one
+// Estimate per distinct setting forever; past the cap, results are
+// still computed and returned, just not retained.
+const maxCachedEstimates = 4096
+
+type mcCacheKey struct {
+	trials int
+	seed   uint64
+	engine Engine
+}
+
+// NewSystem compiles components into an immutable System. It validates
+// every component (non-nil trace, finite non-negative rate) and
+// precomputes everything the estimators share; afterwards every query
+// runs against read-only state. Components that can never fail (zero
+// rate or zero AVF) are legal: the deterministic methods report +Inf
+// and Monte-Carlo returns ErrNoFailurePossible if nothing can fail.
+func NewSystem(components []Component, opts ...SystemOption) (*System, error) {
+	var cfg systemConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	label := cfg.name
+	if label == "" {
+		label = "system"
+	}
+	if len(components) == 0 {
+		return nil, fmt.Errorf("soferr: %s has no components", label)
+	}
+	s := &System{
+		name:       cfg.name,
+		components: make([]Component, len(components)),
+		noCache:    cfg.noCache,
+	}
+	copy(s.components, components)
+	for i, c := range s.components {
+		if c.Trace == nil {
+			return nil, fmt.Errorf("soferr: %s component %d (%s) has nil trace", label, i, c.Name)
+		}
+		if c.RatePerYear < 0 || math.IsNaN(c.RatePerYear) || math.IsInf(c.RatePerYear, 0) {
+			return nil, fmt.Errorf("soferr: %s component %d (%s) has invalid rate %v", label, i, c.Name, c.RatePerYear)
+		}
+	}
+
+	mcs, err := toMonteCarlo(s.components)
+	if err != nil {
+		return nil, err
+	}
+	s.mc, err = montecarlo.Compile(mcs)
+	if err != nil {
+		return nil, fmt.Errorf("soferr: %s: %w", label, err)
+	}
+
+	// AVF+SOFR is cheap and deterministic: compute at build time.
+	mttfs := make([]float64, len(s.components))
+	for i, c := range s.components {
+		mttfs[i], err = avf.MTTF(units.PerYearToPerSecond(c.RatePerYear), c.Trace.AVF())
+		if err != nil {
+			s.avfErr = fmt.Errorf("soferr: %s component %s: %w", label, c.Name, err)
+			break
+		}
+	}
+	if s.avfErr == nil {
+		s.avfSofr, s.avfErr = sofr.SystemMTTF(mttfs)
+	}
+	return s, nil
+}
+
+// ensureUnion compiles the union on first use by a query that needs it.
+func (s *System) ensureUnion() {
+	s.unionOnce.Do(s.compileUnion)
+}
+
+// compileUnion builds the rate-weighted union of the live components
+// that backs SoftArch and the distribution queries. Configurations
+// without a usable union record the error instead of failing the
+// build: the per-method MTTF queries do not all need it.
+func (s *System) compileUnion() {
+	var live []Component
+	for _, c := range s.components {
+		if c.RatePerYear > 0 && c.Trace.AVF() > 0 {
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		return // never fails; Reliability is identically 1
+	}
+	for _, c := range live {
+		s.unionRate += units.PerYearToPerSecond(c.RatePerYear)
+	}
+	if len(live) == 1 {
+		et, ok := live[0].Trace.(exposureTrace)
+		if !ok {
+			s.unionErr = fmt.Errorf("soferr: distribution queries need materialized traces, got %T", live[0].Trace)
+			return
+		}
+		s.unionTrace = et
+		return
+	}
+	// Per-second weights match package softarch's internal union
+	// exactly, so the SoftArch query through this union is
+	// bit-identical to the flat softarch.SystemMTTF path.
+	weights := make([]float64, len(live))
+	pieces := make([]*trace.Piecewise, len(live))
+	for i, c := range live {
+		p, ok := c.Trace.(*trace.Piecewise)
+		if !ok {
+			s.unionErr = fmt.Errorf("soferr: component %s: multi-component distribution queries need materialized traces, got %T", c.Name, c.Trace)
+			return
+		}
+		pieces[i] = p
+		weights[i] = units.PerYearToPerSecond(c.RatePerYear)
+	}
+	u, err := trace.WeightedUnion(weights, pieces)
+	if err != nil {
+		s.unionErr = fmt.Errorf("soferr: %w", err)
+		return
+	}
+	s.unionTrace = u
+}
+
+// Name returns the system's label (empty unless WithName was given).
+func (s *System) Name() string { return s.name }
+
+// Components returns a copy of the compiled component list.
+func (s *System) Components() []Component {
+	out := make([]Component, len(s.components))
+	copy(out, s.components)
+	return out
+}
+
+// RatePerYear returns the summed raw (pre-masking) error rate.
+func (s *System) RatePerYear() float64 {
+	total := 0.0
+	for _, c := range s.components {
+		total += c.RatePerYear
+	}
+	return total
+}
+
+// MTTF estimates the system MTTF with the given method. Settings that a
+// method does not use are ignored (seeds do not change AVF+SOFR).
+// Deterministic methods and repeated identical Monte-Carlo queries are
+// served from the compiled state at cache-hit cost.
+func (s *System) MTTF(ctx context.Context, method Method, opts ...EstimateOption) (Estimate, error) {
+	var set estimateSettings
+	for _, opt := range opts {
+		opt(&set)
+	}
+	if set.timeLimit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, set.timeLimit)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
+	switch method {
+	case AVFSOFR:
+		if s.avfErr != nil {
+			return Estimate{}, s.avfErr
+		}
+		return newEstimate(AVFSOFR, s.avfSofr, 0, estimateSettings{}), nil
+	case SoftArch:
+		s.softArchOnce.Do(func() {
+			s.softArchMTTF, s.softArchErr = s.computeSoftArch()
+		})
+		if s.softArchErr != nil {
+			return Estimate{}, s.softArchErr
+		}
+		return newEstimate(SoftArch, s.softArchMTTF, 0, estimateSettings{}), nil
+	case MonteCarlo:
+		return s.monteCarlo(ctx, set)
+	default:
+		return Estimate{}, fmt.Errorf("soferr: unknown method %v", method)
+	}
+}
+
+// Compare runs several methods against the same compiled state and
+// returns their estimates in argument order. With no methods given it
+// compares all three. Settings apply to every stochastic method, so the
+// comparison is apples-to-apples at one (trials, seed, engine) point.
+func (s *System) Compare(ctx context.Context, methods ...Method) ([]Estimate, error) {
+	return s.CompareWith(ctx, nil, methods...)
+}
+
+// CompareWith is Compare with explicit per-query options.
+func (s *System) CompareWith(ctx context.Context, opts []EstimateOption, methods ...Method) ([]Estimate, error) {
+	if len(methods) == 0 {
+		methods = Methods()
+	}
+	out := make([]Estimate, 0, len(methods))
+	for _, m := range methods {
+		est, err := s.MTTF(ctx, m, opts...)
+		if err != nil {
+			// The underlying error is already package-prefixed; only
+			// name the failing method.
+			return nil, fmt.Errorf("%v: %w", m, err)
+		}
+		out = append(out, est)
+	}
+	return out, nil
+}
+
+func (s *System) computeSoftArch() (float64, error) {
+	// Reuse the compiled union instead of rebuilding it per query; the
+	// per-second weights make this identical to softarch.SystemMTTF on
+	// the raw components.
+	s.ensureUnion()
+	if s.unionRate == 0 {
+		return math.Inf(1), nil
+	}
+	if s.unionErr == nil {
+		return softarch.ComponentMTTF(s.unionRate, s.unionTrace)
+	}
+	// No precompiled union (e.g. a single live component whose trace is
+	// not materialized): fall back to the flat path, which handles any
+	// single Trace and reports precise errors otherwise.
+	sas := make([]softarch.Component, len(s.components))
+	for i, c := range s.components {
+		sas[i] = softarch.Component{
+			Name:  c.Name,
+			Rate:  units.PerYearToPerSecond(c.RatePerYear),
+			Trace: c.Trace,
+		}
+	}
+	return softarch.SystemMTTF(sas)
+}
+
+func (s *System) monteCarlo(ctx context.Context, set estimateSettings) (Estimate, error) {
+	// Normalize the settings that determine the result so equivalent
+	// queries share one cache entry. Workers and time limits change
+	// only the wall time, never the value.
+	if set.trials <= 0 {
+		set.trials = DefaultTrials
+	}
+	if set.engine == 0 {
+		set.engine = Superposed
+	}
+	key := mcCacheKey{trials: set.trials, seed: set.seed, engine: set.engine}
+	if !s.noCache {
+		if v, ok := s.mcCache.Load(key); ok {
+			est := v.(Estimate)
+			est.Cached = true
+			return est, nil
+		}
+	}
+	res, err := s.mc.MTTF(ctx, montecarlo.Config{
+		Trials:  set.trials,
+		Seed:    set.seed,
+		Engine:  set.engine,
+		Workers: set.workers,
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := newEstimate(MonteCarlo, res.MTTF, res.StdErr, set)
+	est.Trials = res.Trials
+	// Bounded retention: LoadOrStore so concurrent first-queries count
+	// each key once; a race can overshoot the cap by at most the number
+	// of in-flight queries.
+	if !s.noCache && s.mcCacheSize.Load() < maxCachedEstimates {
+		if _, loaded := s.mcCache.LoadOrStore(key, est); !loaded {
+			s.mcCacheSize.Add(1)
+		}
+	}
+	return est, nil
+}
+
+func newEstimate(m Method, mttf, stderr float64, set estimateSettings) Estimate {
+	est := Estimate{
+		Method: m,
+		MTTF:   mttf,
+		StdErr: stderr,
+	}
+	if mttf > 0 && !math.IsInf(mttf, 1) {
+		est.FIT = units.PerYearToFIT(units.PerSecondToPerYear(1 / mttf))
+	}
+	if m == MonteCarlo {
+		est.Trials = set.trials
+		est.Seed = set.seed
+		est.Engine = set.engine
+	}
+	return est
+}
+
+// Reliability returns the exact probability that the system survives
+// (suffers no unmasked error) through [0, t]: the first-principles
+// survival function S(t) = exp(-sum_i rate_i * m_i(t)) the flat MTTF
+// API cannot express. All failing components must have materialized
+// traces (and, when there are several, a shared period).
+func (s *System) Reliability(ctx context.Context, t float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if t < 0 || math.IsNaN(t) {
+		return 0, fmt.Errorf("soferr: Reliability at invalid time %v", t)
+	}
+	s.ensureUnion()
+	if s.unionRate == 0 {
+		return 1, nil // no component can ever fail
+	}
+	if s.unionErr != nil {
+		return 0, s.unionErr
+	}
+	if math.IsInf(t, 1) {
+		// exposureAt would compute Inf - Inf; a failing periodic system
+		// accumulates unbounded hazard, so survival forever is zero.
+		return 0, nil
+	}
+	return math.Exp(-s.unionRate * exposureAt(s.unionTrace, t)), nil
+}
+
+// FailureQuantile returns the time by which the system has failed with
+// probability p: the generalized inverse of 1 - Reliability. The result
+// is the earliest instant at which the failure probability exceeds p
+// (failures only land at vulnerable instants, so quantiles jump across
+// idle spans). p = 0 returns the first vulnerable instant; p = 1 and
+// systems that can never fail return +Inf.
+func (s *System) FailureQuantile(ctx context.Context, p float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("soferr: FailureQuantile of invalid probability %v", p)
+	}
+	if p == 1 {
+		return math.Inf(1), nil
+	}
+	s.ensureUnion()
+	if s.unionRate == 0 {
+		return math.Inf(1), nil
+	}
+	if s.unionErr != nil {
+		return 0, s.unionErr
+	}
+	// F(t) = 1 - exp(-R*m(t)) > p  <=>  m(t) > -log1p(-p)/R.
+	target := -math.Log1p(-p) / s.unionRate
+	tr := s.unionTrace
+	total := tr.TotalExposure()
+	period := tr.Period()
+	k := math.Floor(target / total)
+	rem := target - k*total
+	if rem < 0 {
+		rem = 0
+	}
+	// Float roundoff can push rem to exactly total; fold it into one
+	// more whole period so the inner inversion stays in-range.
+	if rem >= total {
+		k++
+		rem -= total
+	}
+	return k*period + tr.InvertExposure(rem), nil
+}
+
+// exposureAt evaluates the cumulative exposure m(t) for any t >= 0:
+// whole periods contribute multiples of the one-period exposure and the
+// remainder is one table lookup.
+func exposureAt(tr exposureTrace, t float64) float64 {
+	period := tr.Period()
+	k := math.Floor(t / period)
+	return k*tr.TotalExposure() + tr.Exposure(t-k*period)
+}
