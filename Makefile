@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-go clean
+.PHONY: all build test vet fmt-check docs race verify bench bench-go clean
 
 all: build
 
@@ -16,6 +16,14 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "needs gofmt:"; echo "$$out"; exit 1; fi
+
+# docs mirrors the CI docs job: vet, formatting, and the godoc
+# Example tests (which compile every documented snippet).
+docs: vet fmt-check
+	$(GO) test -run Example .
+
 # race mirrors the CI race job: the Monte-Carlo worker pool first (the
 # code most exposed to data races), then everything in short mode.
 race:
@@ -25,9 +33,10 @@ race:
 verify: vet build test
 
 # bench records the Monte-Carlo engine micro-benchmarks in
-# BENCH_mc.json so the perf trajectory is tracked PR over PR.
+# BENCH_mc.json and the sweep engine's full-grid speedup in
+# BENCH_sweep.json so the perf trajectory is tracked PR over PR.
 bench:
-	$(GO) run ./cmd/soferr bench -out BENCH_mc.json
+	$(GO) run ./cmd/soferr bench -out BENCH_mc.json -sweep-out BENCH_sweep.json
 
 # bench-go runs the full go-test benchmark suite (experiments +
 # substrates) without writing the JSON report.

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/soferr/soferr"
+)
+
+// sweepBenchReport is the schema of BENCH_sweep.json: the full-grid
+// cost of the sweep engine vs the same grid evaluated as independent
+// per-cell NewSystem calls, recorded PR over PR like BENCH_mc.json.
+type sweepBenchReport struct {
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	// Grid shape: a rates x counts cross product whose effective-rate
+	// products overlap heavily, so the shared-compilation dedup has
+	// real work to do.
+	Sources       int `json:"sources"`
+	Rates         int `json:"rates"`
+	Counts        int `json:"counts"`
+	Cells         int `json:"cells"`
+	UniqueSystems int `json:"unique_systems"`
+	// NsPerGrid is the wall time of one full-grid evaluation.
+	SweepNsPerGrid   float64 `json:"sweep_ns_per_grid"`
+	Sweep1NsPerGrid  float64 `json:"sweep_workers1_ns_per_grid"`
+	FlatNsPerGrid    float64 `json:"flat_ns_per_grid"`
+	SpeedupShared    float64 `json:"speedup_shared_compilation"` // flat / sweep(workers=1)
+	SpeedupTotal     float64 `json:"speedup_total"`              // flat / sweep(default workers)
+	TraceSegments    int     `json:"trace_segments"`
+	MethodsPerCell   int     `json:"methods_per_cell"`
+	DeterministicFit bool    `json:"deterministic_methods_only"`
+}
+
+// runSweepBench measures the sweep engine's shared-compilation win on a
+// dedup-heavy grid: geometric rate and count axes make most
+// (rate x count) products coincide, so the engine compiles 15 unique
+// systems where the flat path builds one System per cell (64) and pays
+// the O(segments) SoftArch survival integral each time. Methods are
+// deterministic (AVF+SOFR and SoftArch) so the recorded speedup
+// measures the engine, not Monte-Carlo sampling noise.
+func runSweepBench(ctx context.Context, stdout, stderr io.Writer, outPath string, verbose bool) error {
+	logf := func(format string, args ...interface{}) {
+		if verbose {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+
+	// A simulator-derived trace with enough segments that per-system
+	// precomputation is the measurable cost (the regime the engine
+	// exists for; synthetic two-segment traces would understate it).
+	logf("simulating gzip for the sweep-bench trace")
+	simRes, err := soferr.SimulateBenchmark("gzip", 50000, 1)
+	if err != nil {
+		return err
+	}
+	type segmented interface{ NumSegments() int }
+	segs := 0
+	if s, ok := simRes.Int.(segmented); ok {
+		segs = s.NumSegments()
+	}
+
+	rates := make([]float64, 8)
+	for i := range rates {
+		rates[i] = 1e3 * float64(uint64(1)<<i) // 1e3 .. 1.28e5 errors/year
+	}
+	counts := make([]int, 8)
+	for i := range counts {
+		counts[i] = 1 << i // 1 .. 128
+	}
+	methods := []soferr.Method{soferr.AVFSOFR, soferr.SoftArch}
+	grid := soferr.Grid{
+		Name:         "bench-dedup",
+		Sources:      []soferr.TraceSource{{Name: "gzip-int", Trace: simRes.Int}},
+		RatesPerYear: rates,
+		Counts:       counts,
+		Methods:      methods,
+		Seed:         1,
+	}
+	cells, err := grid.Cells()
+	if err != nil {
+		return err
+	}
+	unique := make(map[float64]bool)
+	for _, c := range cells {
+		unique[c.EffectiveRatePerYear()] = true
+	}
+
+	bench := func(name string, f func() error) (float64, error) {
+		logf("bench %s", name)
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := f(); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return 0, fmt.Errorf("bench %s: %w", name, benchErr)
+		}
+		if r.N == 0 {
+			return 0, fmt.Errorf("bench %s: no iterations", name)
+		}
+		return float64(r.T.Nanoseconds()) / float64(r.N), nil
+	}
+
+	sweepGrid := func(workers int) func() error {
+		return func() error {
+			_, err := soferr.Sweep(ctx, grid, soferr.WithWorkers(workers))
+			return err
+		}
+	}
+	// The baseline the engine replaces: one independent NewSystem per
+	// cell (no sharing across cells or methods), queried sequentially —
+	// exactly what exp_space.go hand-rolled before the engine existed.
+	flatGrid := func() error {
+		for _, c := range cells {
+			sys, err := soferr.NewSystem([]soferr.Component{{
+				Name:        c.SourceName,
+				RatePerYear: c.RatePerYear * float64(c.Count),
+				Trace:       simRes.Int,
+			}})
+			if err != nil {
+				return err
+			}
+			if _, err := sys.CompareWith(ctx,
+				[]soferr.EstimateOption{soferr.WithSeed(c.Seed)}, methods...); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	sweepNs, err := bench("SweepGrid/default-workers", sweepGrid(0))
+	if err != nil {
+		return err
+	}
+	sweep1Ns, err := bench("SweepGrid/workers=1", sweepGrid(1))
+	if err != nil {
+		return err
+	}
+	flatNs, err := bench("FlatGrid/per-cell-NewSystem", flatGrid)
+	if err != nil {
+		return err
+	}
+
+	report := sweepBenchReport{
+		GoVersion:        runtime.Version(),
+		GOARCH:           runtime.GOARCH,
+		Sources:          len(grid.Sources),
+		Rates:            len(rates),
+		Counts:           len(counts),
+		Cells:            len(cells),
+		UniqueSystems:    len(unique),
+		SweepNsPerGrid:   sweepNs,
+		Sweep1NsPerGrid:  sweep1Ns,
+		FlatNsPerGrid:    flatNs,
+		SpeedupShared:    flatNs / sweep1Ns,
+		SpeedupTotal:     flatNs / sweepNs,
+		TraceSegments:    segs,
+		MethodsPerCell:   len(methods),
+		DeterministicFit: true,
+	}
+	fmt.Fprintf(stdout, "%-28s %14.0f ns/grid\n", "SweepGrid/default", sweepNs)
+	fmt.Fprintf(stdout, "%-28s %14.0f ns/grid\n", "SweepGrid/workers=1", sweep1Ns)
+	fmt.Fprintf(stdout, "%-28s %14.0f ns/grid\n", "FlatGrid/per-cell", flatNs)
+	fmt.Fprintf(stdout, "sweep is %.1fx faster than per-cell NewSystem calls (%.1fx single-threaded; %d cells -> %d systems)\n",
+		report.SpeedupTotal, report.SpeedupShared, report.Cells, report.UniqueSystems)
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", outPath)
+	}
+	return nil
+}

@@ -4,9 +4,24 @@
 //
 //	soferr list                      list the experiments (tables/figures)
 //	soferr run <id>|all [flags]      run experiments and print their tables
+//	soferr sweep [flags]             evaluate a user-defined design-space grid
 //	soferr workloads [flags]         simulate every benchmark; print stats and AVFs
 //	soferr config                    print the Table 1 machine configuration
 //	soferr bench [flags]             micro-benchmark the Monte-Carlo engines
+//
+// Flags for sweep (axes are comma-separated lists; the grid is their
+// cross product, evaluated concurrently and deterministically on the
+// sweep engine — see DESIGN.md, "Sweep engine"):
+//
+//	-workloads LIST  schedule sources: day, week, combined
+//	-duty LIST       busy/idle sources by duty cycle over -period seconds
+//	-bench LIST      simulated benchmark sources (see 'soferr workloads')
+//	-ns LIST         raw-rate axis as N x S products (rate = NxS x 1e-8/yr)
+//	-rates LIST      raw-rate axis in errors/year
+//	-counts LIST     component-count axis C (default 1)
+//	-methods LIST    estimator axis (default avf+sofr,montecarlo,softarch)
+//	-trials N -seed N -engine NAME -workers N -instructions N
+//	-csv | -json     output format (default aligned text, streamed)
 //
 // Flags for run / workloads:
 //
@@ -21,7 +36,8 @@
 //
 // Flags for bench:
 //
-//	-out FILE        JSON report path (default BENCH_mc.json)
+//	-out FILE        Monte-Carlo JSON report path (default BENCH_mc.json)
+//	-sweep-out FILE  sweep-engine JSON report path (default BENCH_sweep.json)
 //	-v               log progress to stderr
 package main
 
@@ -167,17 +183,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		return runWorkloads(stdout, n, *seed)
 
+	case "sweep":
+		// sweep has its own axis flags; see cmd/soferr/sweep.go.
+		return runSweep(ctx, rest, stdout, stderr)
+
 	case "bench":
 		// bench takes only its own flags; a stray -trials/-seed would
 		// be silently ignored, so reject it instead of accepting it.
 		bfs := flag.NewFlagSet("bench", flag.ContinueOnError)
 		bfs.SetOutput(stderr)
-		benchOut := bfs.String("out", "BENCH_mc.json", "JSON report path (empty to skip)")
+		benchOut := bfs.String("out", "BENCH_mc.json", "Monte-Carlo JSON report path (empty to skip writing)")
+		sweepOut := bfs.String("sweep-out", "BENCH_sweep.json", "sweep-engine JSON report path (empty to skip writing)")
 		benchVerbose := bfs.Bool("v", false, "log progress to stderr")
 		if err := bfs.Parse(rest); err != nil {
 			return err
 		}
-		return runBench(ctx, stdout, stderr, *benchOut, *benchVerbose)
+		if err := runBench(ctx, stdout, stderr, *benchOut, *benchVerbose); err != nil {
+			return err
+		}
+		return runSweepBench(ctx, stdout, stderr, *sweepOut, *benchVerbose)
 
 	case "help", "-h", "--help":
 		usage(stdout)
@@ -222,15 +246,20 @@ func usage(w io.Writer) {
 commands:
   list         list the experiments (paper tables/figures)
   run <id|all> run experiments and print their tables
+  sweep        evaluate a user-defined design-space grid (workloads x rates x counts x methods)
   workloads    simulate every benchmark; print stats and AVFs
   config       print the Table 1 machine configuration
-  bench        micro-benchmark the Monte-Carlo engines; write BENCH_mc.json
+  bench        micro-benchmark the engines; write BENCH_mc.json + BENCH_sweep.json
 
 flags for run:
   -trials N -instructions N -seed N -engine inverted|superposed|naive -quick -csv -json -v
+flags for sweep:
+  -workloads day,week,combined -duty LIST -period S -bench LIST
+  -ns LIST -rates LIST -counts LIST -methods LIST
+  -trials N -seed N -engine NAME -workers N -instructions N -csv -json -v
 flags for workloads:
   -instructions N -seed N
 flags for bench:
-  -out FILE -v
+  -out FILE -sweep-out FILE -v
 `)
 }

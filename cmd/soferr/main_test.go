@@ -178,3 +178,96 @@ func TestHelpMentionsBench(t *testing.T) {
 		t.Errorf("help missing bench/engine documentation:\n%s", out)
 	}
 }
+
+func TestSweepText(t *testing.T) {
+	out, _, err := runCLI(t, "sweep",
+		"-duty", "0.5", "-rates", "10,1e6", "-counts", "1,2",
+		"-methods", "avf+sofr,softarch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"duty=0.5", "avf+sofr", "softarch", "MTTF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	// 2 rates x 2 counts x 2 methods rows plus one header line.
+	if got := strings.Count(strings.TrimSpace(out), "\n"); got != 8 {
+		t.Errorf("sweep printed %d lines, want 9:\n%s", got+1, out)
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	out, _, err := runCLI(t, "sweep",
+		"-duty", "0.5", "-rates", "10", "-methods", "softarch", "-csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "source,rate_per_year,count,seed,method,") {
+		t.Errorf("sweep CSV missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "duty=0.5,10,1,") {
+		t.Errorf("sweep CSV missing data row:\n%s", out)
+	}
+}
+
+func TestSweepJSON(t *testing.T) {
+	out, _, err := runCLI(t, "sweep",
+		"-duty", "0.25,0.75", "-ns", "1e9", "-methods", "avf+sofr", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name  string `json:"name"`
+		Cells []struct {
+			Cell struct {
+				SourceName  string  `json:"source_name"`
+				RatePerYear float64 `json:"rate_per_year"`
+			} `json:"cell"`
+			Estimates []struct {
+				Method string `json:"method"`
+			} `json:"estimates"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("sweep -json is not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(doc.Cells))
+	}
+	// -ns 1e9 is rate 10/yr under the paper's 1e-8/yr-per-bit baseline.
+	if doc.Cells[0].Cell.RatePerYear != 10 {
+		t.Errorf("NxS=1e9 gave rate %v, want 10", doc.Cells[0].Cell.RatePerYear)
+	}
+	if doc.Cells[0].Estimates[0].Method != "avf+sofr" {
+		t.Errorf("method = %q", doc.Cells[0].Estimates[0].Method)
+	}
+}
+
+func TestSweepFlagValidation(t *testing.T) {
+	if _, _, err := runCLI(t, "sweep", "-rates", "10"); err == nil {
+		t.Error("sweep without sources succeeded")
+	}
+	if _, _, err := runCLI(t, "sweep", "-duty", "0.5"); err == nil {
+		t.Error("sweep without rates succeeded")
+	}
+	if _, _, err := runCLI(t, "sweep", "-duty", "0.5", "-rates", "10", "-csv", "-json"); err == nil {
+		t.Error("sweep accepted -csv with -json")
+	}
+	if _, _, err := runCLI(t, "sweep", "-workloads", "weekend", "-rates", "10"); err == nil {
+		t.Error("sweep accepted unknown workload")
+	}
+	if _, _, err := runCLI(t, "sweep", "-duty", "0.5", "-rates", "10", "-methods", "bogus"); err == nil {
+		t.Error("sweep accepted unknown method")
+	}
+}
+
+func TestHelpMentionsSweep(t *testing.T) {
+	out, _, err := runCLI(t, "help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sweep") {
+		t.Error("help does not mention the sweep subcommand")
+	}
+}

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/soferr/soferr"
+	"github.com/soferr/soferr/internal/design"
+	"github.com/soferr/soferr/internal/experiments"
+	"github.com/soferr/soferr/internal/montecarlo"
+)
+
+// runSweep implements the `soferr sweep` subcommand: build a design-
+// space grid from the axis flags, evaluate it on the sweep engine, and
+// stream the results as text, CSV, or JSON. The Section 5 experiment
+// tables run on the same engine (`soferr run fig5 ...`); this command
+// is the free-form counterpart for user-defined grids.
+func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workloads    = fs.String("workloads", "", "schedule sources: comma-separated day,week,combined")
+		duty         = fs.String("duty", "", "duty-cycle sources: comma-separated busy fractions in [0,1] over -period")
+		period       = fs.Float64("period", 86400, "loop period in seconds for -duty sources")
+		bench        = fs.String("bench", "", "benchmark sources: comma-separated names (simulated; see 'soferr workloads')")
+		ns           = fs.String("ns", "", "N x S axis: comma-separated element x scale products (rate = NxS x 1e-8/yr)")
+		rates        = fs.String("rates", "", "raw-rate axis in errors/year (alternative or addition to -ns)")
+		counts       = fs.String("counts", "1", "component-count axis C")
+		methods      = fs.String("methods", "", "estimator axis: comma-separated avf+sofr,montecarlo,softarch (default all)")
+		trials       = fs.Int("trials", 0, "Monte-Carlo trials per cell (0 = default)")
+		seed         = fs.Uint64("seed", 1, "base seed; per-cell streams derive from (seed, cell index)")
+		engineName   = fs.String("engine", "", "Monte-Carlo engine: inverted, superposed, or naive")
+		workers      = fs.Int("workers", 0, "total sweep parallelism (0 = GOMAXPROCS)")
+		instructions = fs.Int("instructions", 0, "instructions per simulated benchmark source (0 = default)")
+		asCSV        = fs.Bool("csv", false, "emit CSV instead of text")
+		asJSON       = fs.Bool("json", false, "emit JSON instead of text")
+		verbose      = fs.Bool("v", false, "log progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *asCSV && *asJSON {
+		return fmt.Errorf("sweep: -csv and -json are mutually exclusive")
+	}
+
+	// Benchmark and combined-schedule sources simulate through the same
+	// runner the experiments use, so traces (and their caching) match
+	// `soferr run` exactly. Sources are lazy: nothing simulates unless
+	// its axis point is actually swept.
+	ropt := experiments.Options{Trials: *trials, Seed: *seed, Instructions: *instructions}
+	if *verbose {
+		ropt.Log = stderr
+	}
+	runner := experiments.NewRunner(ropt)
+
+	var sources []soferr.TraceSource
+	for _, w := range splitList(*workloads) {
+		var wl design.Workload
+		switch w {
+		case "day":
+			wl = design.WorkloadDay
+		case "week":
+			wl = design.WorkloadWeek
+		case "combined":
+			wl = design.WorkloadCombined
+		default:
+			return fmt.Errorf("sweep: unknown workload %q (want day, week, or combined)", w)
+		}
+		sources = append(sources, soferr.TraceSource{
+			Name:  w,
+			Build: func() (soferr.Trace, error) { return runner.WorkloadTrace(wl) },
+		})
+	}
+	if *duty != "" {
+		duties, err := parseFloats(*duty)
+		if err != nil {
+			return fmt.Errorf("sweep: -duty: %w", err)
+		}
+		ds, err := soferr.BusyIdleSources(*period, duties)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, ds...)
+	}
+	for _, b := range splitList(*bench) {
+		sources = append(sources, soferr.TraceSource{
+			Name:  b,
+			Build: func() (soferr.Trace, error) { return runner.ProcessorTrace(b) },
+		})
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("sweep: no sources (give -workloads, -duty, and/or -bench)")
+	}
+
+	var ratesPerYear []float64
+	if *ns != "" {
+		nsVals, err := parseFloats(*ns)
+		if err != nil {
+			return fmt.Errorf("sweep: -ns: %w", err)
+		}
+		for _, v := range nsVals {
+			ratesPerYear = append(ratesPerYear, design.RatePerYear(v, 1))
+		}
+	}
+	if *rates != "" {
+		rs, err := parseFloats(*rates)
+		if err != nil {
+			return fmt.Errorf("sweep: -rates: %w", err)
+		}
+		ratesPerYear = append(ratesPerYear, rs...)
+	}
+	if len(ratesPerYear) == 0 {
+		return fmt.Errorf("sweep: no rates (give -ns and/or -rates)")
+	}
+
+	countAxis, err := parseInts(*counts)
+	if err != nil {
+		return fmt.Errorf("sweep: -counts: %w", err)
+	}
+
+	var methodAxis []soferr.Method
+	for _, m := range splitList(*methods) {
+		mm, err := soferr.MethodByName(m)
+		if err != nil {
+			return err
+		}
+		methodAxis = append(methodAxis, mm)
+	}
+	if len(methodAxis) == 0 {
+		methodAxis = soferr.Methods()
+	}
+
+	opts := []soferr.EstimateOption{soferr.WithWorkers(*workers)}
+	if *trials > 0 {
+		opts = append(opts, soferr.WithTrials(*trials))
+	}
+	if *engineName != "" {
+		engine, err := montecarlo.EngineByName(*engineName)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, soferr.WithEngine(engine))
+	}
+
+	grid := soferr.Grid{
+		Name:         "sweep",
+		Sources:      sources,
+		RatesPerYear: ratesPerYear,
+		Counts:       countAxis,
+		Methods:      methodAxis,
+		Seed:         *seed,
+	}
+	cells, err := grid.Cells()
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		fmt.Fprintf(stderr, "sweep: %d sources x %d rates x %d counts = %d cells, %d methods each\n",
+			len(sources), len(ratesPerYear), len(countAxis), len(cells), len(methodAxis))
+	}
+
+	// Cancel on any early return (cell error, write error) so the
+	// worker pool and reorder goroutine wind down instead of leaking —
+	// SweepStream's channel must be drained or its context cancelled.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch, err := soferr.SweepStream(ctx, grid, opts...)
+	if err != nil {
+		return err
+	}
+
+	// JSON collects (one valid document); text and CSV stream rows as
+	// cells complete, which the engine already delivers in cell order.
+	var jsonResults []soferr.CellResult
+	var cw *csv.Writer
+	switch {
+	case *asJSON:
+	case *asCSV:
+		cw = csv.NewWriter(stdout)
+		if err := cw.Write([]string{
+			"source", "rate_per_year", "count", "seed",
+			"method", "mttf_seconds", "fit", "stderr_seconds", "rel_stderr",
+		}); err != nil {
+			return err
+		}
+	default:
+		fmt.Fprintf(stdout, "%-14s %12s %8s  %-10s %14s %12s %10s\n",
+			"source", "rate/yr", "C", "method", "MTTF (s)", "FIT", "rel err")
+	}
+	done := 0
+	for res := range ch {
+		if res.Err != nil {
+			return res.Err
+		}
+		done++
+		switch {
+		case *asJSON:
+			jsonResults = append(jsonResults, res)
+		case *asCSV:
+			for _, e := range res.Estimates {
+				if err := cw.Write([]string{
+					res.Cell.SourceName,
+					formatG(res.Cell.RatePerYear),
+					strconv.Itoa(res.Cell.Count),
+					strconv.FormatUint(res.Cell.Seed, 10),
+					e.Method.String(),
+					formatG(e.MTTF),
+					formatG(e.FIT),
+					formatG(e.StdErr),
+					formatG(e.RelStdErr()),
+				}); err != nil {
+					return err
+				}
+			}
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+		default:
+			for _, e := range res.Estimates {
+				fmt.Fprintf(stdout, "%-14s %12.4g %8d  %-10s %14.6g %12.4g %9.2f%%\n",
+					res.Cell.SourceName, res.Cell.RatePerYear, res.Cell.Count,
+					e.Method.String(), e.MTTF, e.FIT, 100*e.RelStdErr())
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if done != len(cells) {
+		return fmt.Errorf("sweep: delivered %d of %d cells", done, len(cells))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Name  string              `json:"name"`
+			Cells []soferr.CellResult `json:"cells"`
+		}{grid.Name, jsonResults})
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func formatG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -25,6 +25,12 @@
 //     (AVFSOFR, MonteCarlo, SoftArch), compare methods on identical
 //     state (Compare), and ask distribution-level questions the flat
 //     API cannot express (Reliability, FailureQuantile).
+//   - A design-space sweep engine (Sweep, SweepStream, SweepCells): a
+//     Grid of named axes — workloads/traces, raw rates, component
+//     counts, estimator methods — evaluated concurrently with one
+//     compiled System per unique configuration and deterministic
+//     per-cell seeds, so full-grid results are bit-identical for any
+//     worker count. The paper's Section 5 tables run on this engine.
 //   - The flat convenience functions for one-shot use: the AVF step
 //     (AVF, AVFMTTF), the SOFR step (SOFRMTTF), the first-principles
 //     Monte-Carlo estimator (MonteCarloMTTF), and the SoftArch-style
@@ -59,6 +65,21 @@
 // cancellation mid-run. Seeded runs are deterministic, so repeated
 // identical queries are served from a transparent cache.
 //
-// See examples/ for runnable programs and DESIGN.md / EXPERIMENTS.md for
-// the mapping from the paper's tables and figures to this code.
+// To evaluate a whole design space rather than one system, sweep a
+// grid — every cell's methods run against one shared compiled System,
+// and cells with equal (trace, rate x count) products share compilation:
+//
+//	results, _ := soferr.Sweep(ctx, soferr.Grid{
+//		Sources:      sources,              // workloads ([]TraceSource)
+//		RatesPerYear: []float64{10, 1e4},   // raw-rate axis
+//		Counts:       []int{1, 8, 5000},    // cluster-size axis
+//		Seed:         1,                    // per-cell streams derive from this
+//	})
+//
+// The same engine backs the `soferr sweep` CLI subcommand and the
+// paper's Section 5 experiment tables (`soferr run fig5 ...`).
+//
+// See README.md for an overview, examples/ for runnable programs, and
+// DESIGN.md / EXPERIMENTS.md for the mapping from the paper's tables
+// and figures to this code.
 package soferr

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/soferr/soferr"
 	"github.com/soferr/soferr/internal/design"
 	"github.com/soferr/soferr/internal/montecarlo"
 	"github.com/soferr/soferr/internal/sofr"
@@ -103,34 +104,50 @@ func (r *Runner) ExtPhase(ctx context.Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, k := range staggers {
-		r.logf("extphase: %d groups", k)
-		// The cluster is k equal groups, group i shifted by i*period/k.
-		// By Poisson superposition the system is a single component at
-		// rate C*lambda with the equal-weighted union of the shifted
-		// traces.
-		shifted := make([]*trace.Piecewise, k)
-		weights := make([]float64, k)
-		for i := 0; i < k; i++ {
-			s, err := trace.Shift(day, float64(i)*day.Period()/float64(k))
-			if err != nil {
-				return nil, err
-			}
-			shifted[i] = s
-			weights[i] = 1
+	// The stagger axis is a trace-source axis: the cluster with k equal
+	// groups, group i shifted by i*period/k, is (by Poisson
+	// superposition) a single component at rate C*lambda with the
+	// equal-weighted union of the shifted traces. Each union is built
+	// lazily by the sweep engine, at most once, and the k systems are
+	// evaluated concurrently.
+	sources := make([]soferr.TraceSource, len(staggers))
+	cells := make([]soferr.Cell, len(staggers))
+	for ki, k := range staggers {
+		k := k
+		sources[ki] = soferr.TraceSource{
+			Name: fmt.Sprintf("stagger=%d", k),
+			Build: func() (soferr.Trace, error) {
+				shifted := make([]*trace.Piecewise, k)
+				weights := make([]float64, k)
+				for i := 0; i < k; i++ {
+					s, err := trace.Shift(day, float64(i)*day.Period()/float64(k))
+					if err != nil {
+						return nil, err
+					}
+					shifted[i] = s
+					weights[i] = 1
+				}
+				return trace.WeightedUnion(weights, shifted)
+			},
 		}
-		union, err := trace.WeightedUnion(weights, shifted)
-		if err != nil {
-			return nil, err
+		cells[ki] = soferr.Cell{
+			Source:      ki,
+			RatePerYear: rateY * float64(c),
+			Count:       1,
+			Seed:        r.opt.Seed ^ (0xFA5E ^ uint64(k)),
 		}
-		sys, err := r.mcMTTF(ctx, rateY*float64(c), union, 0xFA5E^uint64(k))
-		if err != nil {
-			return nil, err
-		}
+	}
+	ests, err := r.sweepEstimates(ctx, "extphase", sources, cells,
+		[]soferr.Method{soferr.MonteCarlo})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range staggers {
+		mcSys := ests[ki][0].MTTF
 		t.AddRow(
 			fmt.Sprintf("%d", k), fmt.Sprintf("%d", c), fmtSci(ns),
-			fmtSeconds(sofrMTTF), fmtSeconds(sys.MTTF),
-			fmtPct((sofrMTTF-sys.MTTF)/sys.MTTF),
+			fmtSeconds(sofrMTTF), fmtSeconds(mcSys),
+			fmtPct((sofrMTTF-mcSys)/mcSys),
 		)
 	}
 	t.Notes = append(t.Notes,
@@ -162,17 +179,33 @@ func (r *Runner) ExtPhases(ctx context.Context) (*Table, error) {
 	if r.opt.Quick {
 		nsGrid = []float64{1e14}
 	}
-	for _, name := range names {
-		proc, err := r.procTrace(name)
+	sources := make([]soferr.TraceSource, len(names))
+	for i, name := range names {
+		proc, err := r.ProcessorTrace(name)
 		if err != nil {
 			return nil, err
 		}
+		sources[i] = soferr.TraceSource{Name: name, Trace: proc}
+	}
+	cells, err := sofrCells(r.opt.Seed, len(names), nsGrid, []int{c},
+		func(ns float64, _ int) uint64 { return uint64(ns) ^ 0xBEEF })
+	if err != nil {
+		return nil, err
+	}
+	ests, err := r.sweepEstimates(ctx, "extphases", sources, cells,
+		[]soferr.Method{soferr.MonteCarlo})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, name := range names {
 		for _, ns := range nsGrid {
-			r.logf("extphases: %s NxS=%g", name, ns)
-			sofrMTTF, mcSys, err := r.sofrPoint(ctx, design.RatePerYear(ns, 1), proc, c, uint64(ns)^0xBEEF)
+			sofrMTTF, err := sofr.Identical(ests[i][0].MTTF, c)
 			if err != nil {
 				return nil, err
 			}
+			mcSys := ests[i+1][0].MTTF
+			i += 2
 			t.AddRow(
 				name, fmtSci(ns), fmt.Sprintf("%d", c),
 				fmtSeconds(sofrMTTF), fmtSeconds(mcSys),

@@ -8,10 +8,18 @@ import (
 	"github.com/soferr/soferr"
 	"github.com/soferr/soferr/internal/design"
 	"github.com/soferr/soferr/internal/sofr"
-	"github.com/soferr/soferr/internal/softarch"
 	"github.com/soferr/soferr/internal/trace"
 	"github.com/soferr/soferr/internal/units"
 )
+
+// The Section 5 design-space experiments all have the same shape — a
+// grid of (workload, raw rate, component count) points, each estimated
+// by one or more methods — so they run on the public sweep engine
+// (soferr.SweepCells): cells are built explicitly (the historical
+// per-point seed salts predate the engine's index-derived seeds and
+// are preserved so recorded tables stay bit-identical), evaluated
+// concurrently with shared compiled state, and assembled into rows in
+// the original nesting order.
 
 // pointSystem compiles a single (possibly superposed) design-space
 // component into a queryable System.
@@ -39,6 +47,30 @@ func (r *Runner) mcMTTF(ctx context.Context, ratePerYear float64, tr trace.Trace
 	return sys.MTTF(ctx, soferr.MonteCarlo, r.mcOpts(seedSalt)...)
 }
 
+// sweepEstimates evaluates explicit cells through the sweep engine with
+// the runner's settings, returning one estimate slice per cell (indexed
+// by cell position, parallel to methods). The engine shares compiled
+// systems across cells with equal (source, rate x count) products and
+// is deterministic for any worker count, so the results are
+// bit-identical to sequential per-point System queries.
+func (r *Runner) sweepEstimates(ctx context.Context, label string, sources []soferr.TraceSource, cells []soferr.Cell, methods []soferr.Method) ([][]soferr.Estimate, error) {
+	res, err := soferr.SweepCellsAll(ctx, sources, cells, methods,
+		func(cr soferr.CellResult) {
+			r.logf("%s: %s rate/yr=%g C=%d done (%d/%d)",
+				label, cr.Cell.SourceName, cr.Cell.RatePerYear, cr.Cell.Count,
+				cr.Cell.Index+1, len(cells))
+		},
+		soferr.WithTrials(r.opt.Trials), soferr.WithEngine(r.opt.Engine))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]soferr.Estimate, len(cells))
+	for _, cr := range res {
+		out[cr.Cell.Index] = cr.Estimates
+	}
+	return out, nil
+}
+
 // Fig5 reproduces Figure 5: the error of the AVF step relative to Monte
 // Carlo for the synthesized workloads (day, week, combined) at
 // representative values of N x S, for a single component (C = 1).
@@ -56,24 +88,37 @@ func (r *Runner) Fig5(ctx context.Context) (*Table, error) {
 		grid = []float64{1e9, 1e11}
 	}
 	workloads := []design.Workload{design.WorkloadDay, design.WorkloadWeek, design.WorkloadCombined}
-	for _, w := range workloads {
-		tr, err := r.workloadTrace(w)
+	sources := make([]soferr.TraceSource, len(workloads))
+	for i, w := range workloads {
+		tr, err := r.WorkloadTrace(w)
 		if err != nil {
 			return nil, err
 		}
-		avfVal := tr.AVF()
+		sources[i] = soferr.TraceSource{Name: w.String(), Trace: tr}
+	}
+	var cells []soferr.Cell
+	for wi := range workloads {
+		for ni, ns := range grid {
+			cells = append(cells, soferr.Cell{
+				Source: wi, RateIndex: ni,
+				RatePerYear: design.RatePerYear(ns, 1), Count: 1,
+				Seed: r.opt.Seed ^ uint64(ns),
+			})
+		}
+	}
+	ests, err := r.sweepEstimates(ctx, "fig5", sources, cells,
+		[]soferr.Method{soferr.MonteCarlo, soferr.SoftArch})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for wi, w := range workloads {
+		avfVal := sources[wi].Trace.AVF()
 		for _, ns := range grid {
 			rate := design.RatePerSecond(ns, 1)
-			r.logf("fig5: %v NxS=%g", w, ns)
-			mc, err := r.mcMTTF(ctx, design.RatePerYear(ns, 1), tr, uint64(ns))
-			if err != nil {
-				return nil, err
-			}
+			mc, exact := ests[i][0], ests[i][1].MTTF
+			i++
 			avfMTTF := 1 / (rate * avfVal)
-			exact, err := softarch.ComponentMTTF(rate, tr)
-			if err != nil {
-				return nil, err
-			}
 			t.AddRow(
 				w.String(), fmtSci(ns), fmtSci(units.PerSecondToPerYear(rate)),
 				fmt.Sprintf("%.3f", avfVal),
@@ -88,26 +133,6 @@ func (r *Runner) Fig5(ctx context.Context) (*Table, error) {
 		"the error saturates at (1/AVF - 1): +100% for day, +40% for week",
 		"'exact err' replaces the MC reference with the closed-form survival integral (no sampling noise)")
 	return t, nil
-}
-
-// sofrPoint evaluates one SOFR design point: C identical components
-// with the given per-component rate (errors/year) and trace. It returns
-// the SOFR estimate (from the Monte-Carlo component MTTF, as in Section
-// 4.2) and the Monte-Carlo system MTTF computed by superposition.
-func (r *Runner) sofrPoint(ctx context.Context, ratePerYear float64, tr trace.Trace, c int, salt uint64) (sofrMTTF, mcSystem float64, err error) {
-	comp, err := r.mcMTTF(ctx, ratePerYear, tr, salt)
-	if err != nil {
-		return 0, 0, err
-	}
-	sofrMTTF, err = sofr.Identical(comp.MTTF, c)
-	if err != nil {
-		return 0, 0, err
-	}
-	sys, err := r.mcMTTF(ctx, ratePerYear*float64(c), tr, salt^0xC0FFEE)
-	if err != nil {
-		return 0, 0, err
-	}
-	return sofrMTTF, sys.MTTF, nil
 }
 
 // Fig6a reproduces Figure 6(a): SOFR error vs Monte Carlo for clusters
@@ -128,18 +153,34 @@ func (r *Runner) Fig6a(ctx context.Context) (*Table, error) {
 		nsGrid = []float64{1e9, 1e15}
 		cGrid = []int{8, 500000}
 	}
-	for _, b := range benchmarks {
-		proc, err := r.procTrace(b)
+	sources := make([]soferr.TraceSource, len(benchmarks))
+	for i, b := range benchmarks {
+		proc, err := r.ProcessorTrace(b)
 		if err != nil {
 			return nil, err
 		}
+		sources[i] = soferr.TraceSource{Name: b, Trace: proc}
+	}
+	cells, err := sofrCells(r.opt.Seed, len(benchmarks), nsGrid, cGrid,
+		func(ns float64, c int) uint64 { return uint64(ns) + uint64(c) })
+	if err != nil {
+		return nil, err
+	}
+	ests, err := r.sweepEstimates(ctx, "fig6a", sources, cells,
+		[]soferr.Method{soferr.MonteCarlo})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, b := range benchmarks {
 		for _, ns := range nsGrid {
 			for _, c := range cGrid {
-				r.logf("fig6a: %s NxS=%g C=%d", b, ns, c)
-				sofrMTTF, mcSys, err := r.sofrPoint(ctx, design.RatePerYear(ns, 1), proc, c, uint64(ns)+uint64(c))
+				sofrMTTF, err := sofr.Identical(ests[i][0].MTTF, c)
 				if err != nil {
 					return nil, err
 				}
+				mcSys := ests[i+1][0].MTTF
+				i += 2
 				t.AddRow(
 					b, fmtSci(ns), fmt.Sprintf("%d", c),
 					fmtSeconds(sofrMTTF), fmtSeconds(mcSys),
@@ -152,6 +193,40 @@ func (r *Runner) Fig6a(ctx context.Context) (*Table, error) {
 		"paper: accurate for C=2 or 8 at all NxS; significant error only for C>=5000 with very large NxS (>=2e12 at 1e9 bits)",
 		"our benchmark loop is ~1e5x shorter than the paper's 100M-instruction traces, so error onset shifts to proportionally larger NxS x C; the shape (error grows with C and NxS, negligible at small C) is preserved")
 	return t, nil
+}
+
+// sofrCells enumerates the cell pairs behind one SOFR design point per
+// (source, N x S, C) grid coordinate: the component cell (count 1, per
+// Section 4.2 the SOFR input) followed by the superposed system cell
+// (count C). Seeds reproduce the harness's historical salts — the
+// component stream is Seed ^ salt(ns, c) and the system stream
+// Seed ^ (salt(ns, c) ^ 0xC0FFEE), exactly as the pre-engine sequential
+// code drew them — so the recorded tables are unchanged.
+func sofrCells(seed uint64, numSources int, nsGrid []float64, cGrid []int, salt func(ns float64, c int) uint64) ([]soferr.Cell, error) {
+	var cells []soferr.Cell
+	for si := 0; si < numSources; si++ {
+		for ni, ns := range nsGrid {
+			rate := design.RatePerYear(ns, 1)
+			for ci, c := range cGrid {
+				s := salt(ns, c)
+				cells = append(cells,
+					soferr.Cell{
+						Source: si, RateIndex: ni, CountIndex: ci,
+						RatePerYear: rate, Count: 1,
+						Seed: seed ^ s,
+					},
+					soferr.Cell{
+						Source: si, RateIndex: ni, CountIndex: ci,
+						RatePerYear: rate, Count: c,
+						Seed: seed ^ (s ^ 0xC0FFEE),
+					})
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("experiments: empty SOFR grid")
+	}
+	return cells, nil
 }
 
 // Fig6b reproduces Figure 6(b): SOFR error vs Monte Carlo for clusters
@@ -172,18 +247,34 @@ func (r *Runner) Fig6b(ctx context.Context) (*Table, error) {
 		cGrid = []int{8, 50000}
 		workloads = []design.Workload{design.WorkloadDay, design.WorkloadWeek}
 	}
-	for _, w := range workloads {
-		tr, err := r.workloadTrace(w)
+	sources := make([]soferr.TraceSource, len(workloads))
+	for i, w := range workloads {
+		tr, err := r.WorkloadTrace(w)
 		if err != nil {
 			return nil, err
 		}
+		sources[i] = soferr.TraceSource{Name: w.String(), Trace: tr}
+	}
+	cells, err := sofrCells(r.opt.Seed, len(workloads), nsGrid, cGrid,
+		func(ns float64, c int) uint64 { return uint64(ns) + uint64(c)*3 })
+	if err != nil {
+		return nil, err
+	}
+	ests, err := r.sweepEstimates(ctx, "fig6b", sources, cells,
+		[]soferr.Method{soferr.MonteCarlo})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, w := range workloads {
 		for _, ns := range nsGrid {
 			for _, c := range cGrid {
-				r.logf("fig6b: %v NxS=%g C=%d", w, ns, c)
-				sofrMTTF, mcSys, err := r.sofrPoint(ctx, design.RatePerYear(ns, 1), tr, c, uint64(ns)+uint64(c)*3)
+				sofrMTTF, err := sofr.Identical(ests[i][0].MTTF, c)
 				if err != nil {
 					return nil, err
 				}
+				mcSys := ests[i+1][0].MTTF
+				i += 2
 				t.AddRow(
 					w.String(), fmtSci(ns), fmt.Sprintf("%d", c),
 					fmtSeconds(sofrMTTF), fmtSeconds(mcSys),
@@ -229,23 +320,38 @@ func (r *Runner) Sec54(ctx context.Context) (*Table, error) {
 	if r.opt.Quick {
 		points = points[:4]
 	}
+	var sources []soferr.TraceSource
+	srcIdx := make(map[design.Workload]int)
+	cells := make([]soferr.Cell, len(points))
+	for i, p := range points {
+		si, ok := srcIdx[p.w]
+		if !ok {
+			tr, err := r.WorkloadTrace(p.w)
+			if err != nil {
+				return nil, err
+			}
+			si = len(sources)
+			sources = append(sources, soferr.TraceSource{Name: p.w.String(), Trace: tr})
+			srcIdx[p.w] = si
+		}
+		// The superposed point rate C x N x S x baseline is folded into
+		// RatePerYear (count 1) exactly as the sequential code built its
+		// pointSystem, so the product stays bit-identical.
+		cells[i] = soferr.Cell{
+			Source:      si,
+			RatePerYear: design.RatePerYear(p.ns, 1) * float64(p.c),
+			Count:       1,
+			Seed:        r.opt.Seed ^ (uint64(p.ns) ^ uint64(p.c)),
+		}
+	}
+	ests, err := r.sweepEstimates(ctx, "sec54", sources, cells,
+		[]soferr.Method{soferr.SoftArch, soferr.MonteCarlo})
+	if err != nil {
+		return nil, err
+	}
 	worstSingle, worstSystem := 0.0, 0.0
-	for _, p := range points {
-		tr, err := r.workloadTrace(p.w)
-		if err != nil {
-			return nil, err
-		}
-		sys, err := r.pointSystem(design.RatePerYear(p.ns, 1)*float64(p.c), tr)
-		if err != nil {
-			return nil, err
-		}
-		r.logf("sec54: %s", p.name)
-		ests, err := sys.CompareWith(ctx, r.mcOpts(uint64(p.ns)^uint64(p.c)),
-			soferr.SoftArch, soferr.MonteCarlo)
-		if err != nil {
-			return nil, err
-		}
-		exact, mc := ests[0], ests[1]
+	for i, p := range points {
+		exact, mc := ests[i][0], ests[i][1]
 		rel := (exact.MTTF - mc.MTTF) / mc.MTTF
 		if p.c == 1 {
 			worstSingle = math.Max(worstSingle, math.Abs(rel))
@@ -254,7 +360,7 @@ func (r *Runner) Sec54(ctx context.Context) (*Table, error) {
 		}
 		t.AddRow(p.name, fmtSeconds(exact.MTTF), fmtSeconds(mc.MTTF), fmtPct(rel),
 			fmt.Sprintf("%.2f%%", 100*mc.RelStdErr()))
-		t.AddEstimates(p.name, ests...)
+		t.AddEstimates(p.name, ests[i]...)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("worst single-component |err| = %.2f%% (paper: <1%%), worst system |err| = %.2f%% (paper: <2%%)",

@@ -139,11 +139,11 @@ func (r *Runner) benchTraces(name string) (*turandot.ComponentTraces, error) {
 	return t, nil
 }
 
-// procTrace returns the processor-level masking trace of a benchmark:
+// ProcessorTrace returns the processor-level masking trace of a benchmark:
 // the rate-weighted union of the integer, floating-point, and decode
 // unit traces (Section 4.2 applies these three simultaneously for
 // processor-level failure), cached per benchmark.
-func (r *Runner) procTrace(name string) (*trace.Piecewise, error) {
+func (r *Runner) ProcessorTrace(name string) (*trace.Piecewise, error) {
 	r.mu.Lock()
 	if p, ok := r.procs[name]; ok {
 		r.mu.Unlock()
@@ -177,30 +177,30 @@ func (r *Runner) procTrace(name string) (*trace.Piecewise, error) {
 	return union, nil
 }
 
-// workloadTrace builds the masking trace for a Table 2 workload family.
+// WorkloadTrace builds the masking trace for a Table 2 workload family.
 // SPEC families use the named representative benchmark's processor
 // trace; day and week are the Section 4.2 schedules; combined
 // concatenates two benchmark processor traces in a 24-hour loop.
-func (r *Runner) workloadTrace(w design.Workload) (trace.Trace, error) {
+func (r *Runner) WorkloadTrace(w design.Workload) (trace.Trace, error) {
 	switch w {
 	case design.WorkloadDay:
 		return workload.Day()
 	case design.WorkloadWeek:
 		return workload.Week()
 	case design.WorkloadCombined:
-		a, err := r.procTrace(combinedBenchA)
+		a, err := r.ProcessorTrace(combinedBenchA)
 		if err != nil {
 			return nil, err
 		}
-		b, err := r.procTrace(combinedBenchB)
+		b, err := r.ProcessorTrace(combinedBenchB)
 		if err != nil {
 			return nil, err
 		}
 		return workload.Combined(a, b)
 	case design.WorkloadSPECInt:
-		return r.procTrace(specIntRepresentative)
+		return r.ProcessorTrace(specIntRepresentative)
 	case design.WorkloadSPECFP:
-		return r.procTrace(specFPRepresentative)
+		return r.ProcessorTrace(specFPRepresentative)
 	default:
 		return nil, fmt.Errorf("experiments: unknown workload %v", w)
 	}

@@ -1,0 +1,223 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/soferr/soferr/internal/trace"
+)
+
+// Options tunes a Run.
+type Options struct {
+	// Workers bounds the number of cells evaluated concurrently
+	// (default GOMAXPROCS, capped at the cell count). Worker count
+	// never changes results, only wall time.
+	Workers int
+}
+
+// Result pairs one cell with its evaluation outcome. Exactly one of
+// Value and Err is meaningful; a cell whose source failed to build,
+// whose system failed to compile, or whose eval errored carries the
+// error and the zero Value.
+type Result[R any] struct {
+	Cell  Cell
+	Value R
+	Err   error
+}
+
+// Run evaluates every cell on a worker pool and returns a channel that
+// delivers exactly one Result per cell, in cell order, then closes.
+//
+// Shared state is deduplicated: each source's trace is resolved at most
+// once (lazy Build included), and compile is called exactly once per
+// unique (source, effective rate) pair — cells whose Count x RatePerYear
+// products coincide share the compiled system. eval runs once per cell
+// with that shared system; per-cell seeds make it deterministic for any
+// worker count.
+//
+// The cell slice is copied and each cell's Index and SourceName are
+// normalized before evaluation. Errors are per-cell: a failing cell
+// does not stop its siblings. Cancelling ctx stops scheduling new
+// cells and makes delivery best-effort — the channel closes promptly
+// once the in-flight cells drain, possibly without emitting results
+// that had already completed — so consumers must either drain the
+// channel or cancel ctx, and should treat an early close as the
+// context's error.
+func Run[S, R any](
+	ctx context.Context,
+	sources []Source,
+	cells []Cell,
+	opt Options,
+	compile func(name string, tr trace.Trace, effRatePerYear float64) (S, error),
+	eval func(ctx context.Context, sys S, cell Cell) (R, error),
+) (<-chan Result[R], error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sweep: no cells")
+	}
+	work := make([]Cell, len(cells))
+	copy(work, cells)
+	for i := range work {
+		c := &work[i]
+		c.Index = i
+		if c.Source < 0 || c.Source >= len(sources) {
+			return nil, fmt.Errorf("sweep: cell %d references source %d of %d", i, c.Source, len(sources))
+		}
+		c.SourceName = sources[c.Source].Name
+		if c.Count < 1 {
+			return nil, fmt.Errorf("sweep: cell %d has invalid count %d", i, c.Count)
+		}
+		if c.RatePerYear < 0 || math.IsNaN(c.RatePerYear) || math.IsInf(c.RatePerYear, 0) {
+			return nil, fmt.Errorf("sweep: cell %d has invalid rate %v", i, c.RatePerYear)
+		}
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+
+	// Lazy per-source trace resolution, built at most once.
+	srcs := newOnceTable(len(sources), func(i int) (trace.Trace, error) {
+		s := sources[i]
+		if s.Trace != nil {
+			return s.Trace, nil
+		}
+		if s.Build == nil {
+			return nil, fmt.Errorf("sweep: source %d (%s) has neither Trace nor Build", i, s.Name)
+		}
+		tr, err := s.Build()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: source %s: %w", s.Name, err)
+		}
+		if tr == nil {
+			return nil, fmt.Errorf("sweep: source %s built a nil trace", s.Name)
+		}
+		return tr, nil
+	})
+
+	// One compiled system per unique (source, effective rate): the cell
+	// planner's shared-compilation dedup. Keys are enumerated up front
+	// so the map itself is read-only during the run.
+	type sysKey struct {
+		source int
+		eff    float64
+	}
+	systems := make(map[sysKey]*onceVal[S])
+	for i := range work {
+		k := sysKey{work[i].Source, work[i].EffectiveRatePerYear()}
+		if systems[k] == nil {
+			key := k
+			systems[k] = &onceVal[S]{compute: func() (S, error) {
+				var zero S
+				tr, err := srcs.get(key.source)
+				if err != nil {
+					return zero, err
+				}
+				return compile(sources[key.source].Name, tr, key.eff)
+			}}
+		}
+	}
+
+	inner := make(chan Result[R], workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(work) {
+					return
+				}
+				c := work[i]
+				res := Result[R]{Cell: c}
+				if err := ctx.Err(); err != nil {
+					// Claimed cells always report, so the in-order
+					// emitter never waits on a gap; unclaimed cells
+					// are simply never delivered.
+					res.Err = err
+				} else if sys, err := systems[sysKey{c.Source, c.EffectiveRatePerYear()}].get(); err != nil {
+					res.Err = fmt.Errorf("sweep: cell %d (%s): %w", c.Index, c.SourceName, err)
+				} else if res.Value, res.Err = eval(ctx, sys, c); res.Err != nil {
+					res.Err = fmt.Errorf("sweep: cell %d (%s): %w", c.Index, c.SourceName, res.Err)
+				}
+				inner <- res
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(inner)
+	}()
+
+	// Reorder completed cells into cell order. Workers claim indices
+	// monotonically and every claimed cell reports, so the completed
+	// set is always a prefix plus a bounded in-flight window.
+	out := make(chan Result[R])
+	go func() {
+		defer close(out)
+		pending := make(map[int]Result[R], workers)
+		nextEmit := 0
+		for r := range inner {
+			pending[r.Cell.Index] = r
+			for {
+				e, ok := pending[nextEmit]
+				if !ok {
+					break
+				}
+				delete(pending, nextEmit)
+				select {
+				case out <- e:
+					nextEmit++
+				case <-ctx.Done():
+					// Consumer gave up: drain the workers and exit
+					// without blocking on an abandoned channel.
+					for range inner {
+					}
+					return
+				}
+			}
+		}
+	}()
+	return out, nil
+}
+
+// onceVal computes a value at most once, concurrently-safely, caching
+// both the value and the error.
+type onceVal[T any] struct {
+	once    sync.Once
+	compute func() (T, error)
+	val     T
+	err     error
+}
+
+func (o *onceVal[T]) get() (T, error) {
+	o.once.Do(func() {
+		o.val, o.err = o.compute()
+		o.compute = nil
+	})
+	return o.val, o.err
+}
+
+// onceTable is an indexed family of onceVals.
+type onceTable[T any] struct {
+	entries []onceVal[T]
+}
+
+func newOnceTable[T any](n int, compute func(i int) (T, error)) *onceTable[T] {
+	t := &onceTable[T]{entries: make([]onceVal[T], n)}
+	for i := range t.entries {
+		i := i
+		t.entries[i].compute = func() (T, error) { return compute(i) }
+	}
+	return t
+}
+
+func (t *onceTable[T]) get(i int) (T, error) { return t.entries[i].get() }

@@ -1,0 +1,191 @@
+// Package sweep is the design-space sweep engine: it evaluates a grid
+// of reliability configurations — the shape of the paper's Section 5
+// evaluation, which varies workload, raw-rate product N x S, and
+// component count C (Table 2) — without recompiling shared state per
+// grid point.
+//
+// The package deals in three ideas:
+//
+//   - A Source names one masking-trace axis point (a workload). Sources
+//     may be pre-materialized or lazily built; a lazy source is built at
+//     most once per run no matter how many cells reference it.
+//   - A Cell is one evaluation point: (source, per-component raw rate,
+//     component count, seed). Grid enumerates cells as the row-major
+//     cross product of its axes; callers with non-product designs (the
+//     experiment harness preserves historical per-point seed salts)
+//     hand-build the cell slice instead.
+//   - Run streams one result per cell, in cell order, from a bounded
+//     worker pool. Identical components in series superpose exactly
+//     (the union of C i.i.d. thinned Poisson processes with one trace
+//     is a single process at C x rate), so cells sharing a
+//     (source, rate x count) product share one compiled system: the
+//     planner deduplicates compilation, and deterministic per-system
+//     results are computed once and served to every duplicate cell.
+//
+// Determinism contract: every cell carries its own seed (derived from
+// (base seed, cell index) by CellSeed unless the caller overrides it),
+// and the pool never lets scheduling touch a result — estimates are
+// bit-identical for any worker count. See DESIGN.md, "Sweep engine".
+//
+// The package is evaluator-agnostic: Run is generic over the compiled
+// system and result types, and the public soferr.Sweep surface supplies
+// compile/eval callbacks backed by soferr.NewSystem and System.MTTF.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/soferr/soferr/internal/trace"
+)
+
+// Source is one point on a grid's trace axis: a named workload whose
+// masking trace is either pre-materialized (Trace) or built on first
+// use (Build). Exactly one of the two should be set; Trace wins when
+// both are.
+type Source struct {
+	// Name labels the source in cells, results, and errors.
+	Name string
+	// Trace is the pre-materialized masking trace, if available.
+	Trace trace.Trace
+	// Build constructs the trace lazily. It is called at most once per
+	// Run, only if some cell references the source, so expensive sources
+	// (simulated benchmarks) cost nothing unless swept.
+	Build func() (trace.Trace, error)
+}
+
+// Cell is one evaluation point of a sweep: Count identical components,
+// each with raw rate RatePerYear filtered by the source's trace.
+type Cell struct {
+	// Index is the cell's position in the swept cell slice. Run
+	// normalizes it to the slice position, so results (which may be
+	// consumed out of a channel) can always be mapped back.
+	Index int `json:"index"`
+	// Source indexes the sweep's source slice; SourceName echoes that
+	// source's name (Run fills it in).
+	Source     int    `json:"source"`
+	SourceName string `json:"source_name,omitempty"`
+	// RateIndex and CountIndex locate the cell on the grid's rate and
+	// count axes. Grid.Cells always sets them; they exist so
+	// seed-derivation overrides can recover the original axis values
+	// without inverting floating-point arithmetic. Hand-built cell
+	// slices choose their own convention (the engine never reads them),
+	// so a zero only means "axis position 0" for cells that set them.
+	RateIndex  int `json:"rate_index"`
+	CountIndex int `json:"count_index"`
+	// RatePerYear is the per-component raw (pre-masking) soft error
+	// rate in errors/year.
+	RatePerYear float64 `json:"rate_per_year"`
+	// Count is the number of identical components in series.
+	Count int `json:"count"`
+	// Seed selects the cell's deterministic random stream for
+	// stochastic estimators.
+	Seed uint64 `json:"seed"`
+}
+
+// EffectiveRatePerYear is the superposed raw rate of the cell's series
+// system: Count identical components at RatePerYear each are exactly
+// one component at Count x RatePerYear for every estimator in this
+// repository, which is what lets cells share compiled systems.
+func (c Cell) EffectiveRatePerYear() float64 {
+	return c.RatePerYear * float64(c.Count)
+}
+
+// Grid is a cross product of named axes: every source, at every
+// per-component raw rate, at every component count.
+type Grid struct {
+	// Name labels the grid in reports.
+	Name string
+	// Sources is the trace axis (required).
+	Sources []Source
+	// RatesPerYear is the per-component raw-rate axis in errors/year
+	// (required; the paper's N x S x baseline products).
+	RatesPerYear []float64
+	// Counts is the component-count axis C (optional; nil means {1}).
+	Counts []int
+}
+
+// counts returns the effective count axis.
+func (g Grid) counts() []int {
+	if len(g.Counts) == 0 {
+		return []int{1}
+	}
+	return g.Counts
+}
+
+// NumCells returns the number of cells the grid enumerates.
+func (g Grid) NumCells() int {
+	return len(g.Sources) * len(g.RatesPerYear) * len(g.counts())
+}
+
+// Validate checks the axes without enumerating cells.
+func (g Grid) Validate() error {
+	if len(g.Sources) == 0 {
+		return errors.New("sweep: grid has no sources")
+	}
+	for i, s := range g.Sources {
+		if s.Trace == nil && s.Build == nil {
+			return fmt.Errorf("sweep: source %d (%s) has neither Trace nor Build", i, s.Name)
+		}
+	}
+	if len(g.RatesPerYear) == 0 {
+		return errors.New("sweep: grid has no rates")
+	}
+	for i, r := range g.RatesPerYear {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("sweep: rate %d is invalid (%v)", i, r)
+		}
+	}
+	for i, c := range g.Counts {
+		if c < 1 {
+			return fmt.Errorf("sweep: count %d is invalid (%d)", i, c)
+		}
+	}
+	return nil
+}
+
+// Cells enumerates the grid in row-major axis order (sources outermost,
+// then rates, then counts), assigning each cell a deterministic seed
+// derived from (seed, cell index) by CellSeed.
+func (g Grid) Cells(seed uint64) ([]Cell, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	counts := g.counts()
+	cells := make([]Cell, 0, g.NumCells())
+	for si := range g.Sources {
+		for ri, rate := range g.RatesPerYear {
+			for ci, count := range counts {
+				i := len(cells)
+				cells = append(cells, Cell{
+					Index:       i,
+					Source:      si,
+					SourceName:  g.Sources[si].Name,
+					RateIndex:   ri,
+					CountIndex:  ci,
+					RatePerYear: rate,
+					Count:       count,
+					Seed:        CellSeed(seed, i),
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// CellSeed derives the deterministic random seed of cell index under a
+// base seed: a SplitMix64 finalizer over a Weyl sequence, so adjacent
+// indices (and small base seeds) still produce well-mixed, distinct
+// streams. The derivation is part of the determinism contract — a grid
+// re-run with the same base seed evaluates identical streams no matter
+// how the cells are scheduled.
+func CellSeed(base uint64, index int) uint64 {
+	x := base + (uint64(index)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
