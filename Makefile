@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check docs race verify bench bench-go clean
+.PHONY: all build test vet fmt-check docs race verify bench bench-go serve clean
 
 all: build
 
@@ -33,10 +33,17 @@ race:
 verify: vet build test
 
 # bench records the Monte-Carlo engine micro-benchmarks in
-# BENCH_mc.json and the sweep engine's full-grid speedup in
-# BENCH_sweep.json so the perf trajectory is tracked PR over PR.
+# BENCH_mc.json, the sweep engine's full-grid speedup in
+# BENCH_sweep.json, and the query server's cold-vs-cache-hit request
+# latency in BENCH_serve.json, so the perf trajectory is tracked PR
+# over PR.
 bench:
-	$(GO) run ./cmd/soferr bench -out BENCH_mc.json -sweep-out BENCH_sweep.json
+	$(GO) run ./cmd/soferr bench -out BENCH_mc.json -sweep-out BENCH_sweep.json -serve-out BENCH_serve.json
+
+# serve runs the MTTF query service locally (POST a Spec to /v1/mttf;
+# see README.md, "Serving").
+serve:
+	$(GO) run ./cmd/soferr serve -addr 127.0.0.1:8080 -v
 
 # bench-go runs the full go-test benchmark suite (experiments +
 # substrates) without writing the JSON report.

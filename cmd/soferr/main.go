@@ -4,7 +4,9 @@
 //
 //	soferr list                      list the experiments (tables/figures)
 //	soferr run <id>|all [flags]      run experiments and print their tables
+//	soferr run <spec.json> [flags]   compile a system Spec file and compare methods
 //	soferr sweep [flags]             evaluate a user-defined design-space grid
+//	soferr serve [flags]             serve MTTF queries over HTTP (POST a Spec)
 //	soferr workloads [flags]         simulate every benchmark; print stats and AVFs
 //	soferr config                    print the Table 1 machine configuration
 //	soferr bench [flags]             micro-benchmark the Monte-Carlo engines
@@ -29,15 +31,28 @@
 //	-instructions N  simulated instructions per benchmark (default 300000)
 //	-seed N          deterministic seed (default 1)
 //	-engine NAME     run: Monte-Carlo engine: inverted (default), superposed, naive
+//	-methods LIST    run <spec.json>: methods to compare (default all)
 //	-quick           run: shrink grids and trial counts
 //	-csv             run: emit CSV instead of aligned text
 //	-json            run: emit JSON (tables plus typed estimates)
 //	-v               log progress to stderr
 //
+// Flags for serve (the MTTF query service; see internal/server for the
+// endpoints and DESIGN.md, "Serving layer", for the cache contract):
+//
+//	-addr HOST:PORT    listen address (default 127.0.0.1:8080)
+//	-cache N           compiled-System LRU capacity (default 128)
+//	-max-concurrent N  in-flight query bound (default GOMAXPROCS)
+//	-trials N          default Monte-Carlo trials (default 200000)
+//	-timeout D         per-request deadline cap (default 60s; 0 = unlimited)
+//	-grace D           shutdown grace period (default 30s)
+//	-instructions N -sim-seed N -v
+//
 // Flags for bench:
 //
 //	-out FILE        Monte-Carlo JSON report path (default BENCH_mc.json)
 //	-sweep-out FILE  sweep-engine JSON report path (default BENCH_sweep.json)
+//	-serve-out FILE  query-server JSON report path (default BENCH_serve.json)
 //	-v               log progress to stderr
 package main
 
@@ -51,17 +66,24 @@ import (
 	"os/signal"
 	"syscall"
 
+	"github.com/soferr/soferr"
 	"github.com/soferr/soferr/internal/experiments"
-	"github.com/soferr/soferr/internal/montecarlo"
 	"github.com/soferr/soferr/internal/turandot"
 	"github.com/soferr/soferr/internal/workload"
 )
 
 func main() {
 	// Interrupts cancel in-flight Monte-Carlo sweeps cleanly instead of
-	// killing the process mid-table.
+	// killing the process mid-table. After the first signal has
+	// cancelled ctx, restore the default disposition so a second
+	// interrupt kills immediately (e.g. to abort `serve`'s graceful
+	// drain).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "soferr:", err)
 		os.Exit(1)
@@ -82,6 +104,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		instructions = fs.Int("instructions", 0, "instructions per simulated benchmark (0 = default)")
 		seed         = fs.Uint64("seed", 1, "deterministic seed")
 		engineName   = fs.String("engine", "", "Monte-Carlo engine: inverted, superposed, or naive")
+		methodsFlag  = fs.String("methods", "", "run <spec.json>: comma-separated methods to compare (default all)")
 		quick        = fs.Bool("quick", false, "shrink grids and trial counts")
 		asCSV        = fs.Bool("csv", false, "emit CSV instead of text")
 		asJSON       = fs.Bool("json", false, "emit JSON (tables plus typed estimates) instead of text")
@@ -105,11 +128,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	case "run":
 		if len(rest) == 0 {
-			return fmt.Errorf("run: need an experiment id or 'all' (try 'soferr list')")
+			return fmt.Errorf("run: need an experiment id, 'all', or a Spec JSON file (try 'soferr list')")
 		}
 		id := rest[0]
 		if err := fs.Parse(rest[1:]); err != nil {
 			return err
+		}
+		if *asCSV && *asJSON {
+			return fmt.Errorf("run: -csv and -json are mutually exclusive")
+		}
+		// A Spec JSON file compiles through the same soferr.Spec path the
+		// sweep CLI and the HTTP server use, so file- and HTTP-supplied
+		// systems share one code path. Experiment ids always win: a file
+		// in the working directory named "fig5" or "all" must not shadow
+		// the experiment.
+		if _, idErr := experiments.ByID(id); id != "all" && idErr != nil && isSpecFile(id) {
+			return runSpecFile(ctx, id, stdout, stderr, specFileOptions{
+				trials:       *trials,
+				instructions: *instructions,
+				seed:         *seed,
+				engineName:   *engineName,
+				methods:      *methodsFlag,
+				asCSV:        *asCSV,
+				asJSON:       *asJSON,
+				verbose:      *verbose,
+			})
 		}
 		opt := experiments.Options{
 			Trials:       *trials,
@@ -118,7 +161,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			Quick:        *quick,
 		}
 		if *engineName != "" {
-			engine, err := montecarlo.EngineByName(*engineName)
+			engine, err := soferr.EngineByName(*engineName)
 			if err != nil {
 				return err
 			}
@@ -126,9 +169,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		if *verbose {
 			opt.Log = stderr
-		}
-		if *asCSV && *asJSON {
-			return fmt.Errorf("run: -csv and -json are mutually exclusive")
 		}
 		r := experiments.NewRunner(opt)
 		var list []experiments.Experiment
@@ -187,6 +227,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		// sweep has its own axis flags; see cmd/soferr/sweep.go.
 		return runSweep(ctx, rest, stdout, stderr)
 
+	case "serve":
+		// serve has its own flags; see cmd/soferr/serve.go.
+		return runServe(ctx, rest, stdout, stderr)
+
 	case "bench":
 		// bench takes only its own flags; a stray -trials/-seed would
 		// be silently ignored, so reject it instead of accepting it.
@@ -194,6 +238,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		bfs.SetOutput(stderr)
 		benchOut := bfs.String("out", "BENCH_mc.json", "Monte-Carlo JSON report path (empty to skip writing)")
 		sweepOut := bfs.String("sweep-out", "BENCH_sweep.json", "sweep-engine JSON report path (empty to skip writing)")
+		serveOut := bfs.String("serve-out", "BENCH_serve.json", "query-server JSON report path (empty to skip writing)")
 		benchVerbose := bfs.Bool("v", false, "log progress to stderr")
 		if err := bfs.Parse(rest); err != nil {
 			return err
@@ -201,7 +246,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err := runBench(ctx, stdout, stderr, *benchOut, *benchVerbose); err != nil {
 			return err
 		}
-		return runSweepBench(ctx, stdout, stderr, *sweepOut, *benchVerbose)
+		if err := runSweepBench(ctx, stdout, stderr, *sweepOut, *benchVerbose); err != nil {
+			return err
+		}
+		return runServeBench(ctx, stdout, stderr, *serveOut, *benchVerbose)
 
 	case "help", "-h", "--help":
 		usage(stdout)
@@ -246,20 +294,25 @@ func usage(w io.Writer) {
 commands:
   list         list the experiments (paper tables/figures)
   run <id|all> run experiments and print their tables
+  run <spec.json> compile a system Spec file and compare methods
   sweep        evaluate a user-defined design-space grid (workloads x rates x counts x methods)
+  serve        serve MTTF queries over HTTP (POST a Spec to /v1/mttf, /v1/sweep, ...)
   workloads    simulate every benchmark; print stats and AVFs
   config       print the Table 1 machine configuration
-  bench        micro-benchmark the engines; write BENCH_mc.json + BENCH_sweep.json
+  bench        micro-benchmark the engines; write BENCH_mc.json + BENCH_sweep.json + BENCH_serve.json
 
 flags for run:
-  -trials N -instructions N -seed N -engine inverted|superposed|naive -quick -csv -json -v
+  -trials N -instructions N -seed N -engine inverted|superposed|naive -methods LIST -quick -csv -json -v
 flags for sweep:
   -workloads day,week,combined -duty LIST -period S -bench LIST
   -ns LIST -rates LIST -counts LIST -methods LIST
   -trials N -seed N -engine NAME -workers N -instructions N -csv -json -v
+flags for serve:
+  -addr HOST:PORT -cache N -max-concurrent N -trials N -timeout D -grace D
+  -instructions N -sim-seed N -v
 flags for workloads:
   -instructions N -seed N
 flags for bench:
-  -out FILE -sweep-out FILE -v
+  -out FILE -sweep-out FILE -serve-out FILE -v
 `)
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/soferr/soferr"
+	"github.com/soferr/soferr/internal/server"
+)
+
+// runServe implements the `soferr serve` subcommand: the MTTF query
+// service. It binds the listener, serves until ctx is cancelled
+// (SIGINT/SIGTERM from main), then drains in-flight queries within the
+// grace period. See internal/server for the endpoints and DESIGN.md,
+// "Serving layer", for the cache contract.
+func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		cacheSize     = fs.Int("cache", 128, "compiled-System LRU capacity (Specs cached by content hash)")
+		maxConcurrent = fs.Int("max-concurrent", 0, "max in-flight query requests (0 = GOMAXPROCS)")
+		trials        = fs.Int("trials", 0, "default Monte-Carlo trials for requests that set none (0 = package default)")
+		timeout       = fs.Duration("timeout", 60*time.Second, "per-request deadline cap (0 = unlimited)")
+		grace         = fs.Duration("grace", 30*time.Second, "shutdown grace period for in-flight queries")
+		instructions  = fs.Int("instructions", 0, "instructions per simulated benchmark trace (0 = default)")
+		simSeed       = fs.Uint64("sim-seed", 1, "benchmark simulation seed")
+		verbose       = fs.Bool("v", false, "log failed requests to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	comp := &soferr.Compiler{Instructions: *instructions, SimSeed: *simSeed}
+	cfg := server.Config{
+		CacheSize:     *cacheSize,
+		MaxConcurrent: *maxConcurrent,
+		DefaultTrials: *trials,
+		MaxTimeout:    *timeout,
+		Compiler:      comp,
+	}
+	if *timeout == 0 {
+		cfg.MaxTimeout = -1 // explicit zero disables the cap
+	}
+	if *verbose {
+		cfg.Log = stderr
+		comp.Log = stderr
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "soferr: serving on http://%s\n", ln.Addr())
+
+	// Read/idle timeouts bound slow clients: a trickled request body
+	// cannot hold a handler (and its concurrency slot) open forever.
+	httpSrv := &http.Server{
+		Handler:           server.New(cfg),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err // the listener failed outright
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, drain in-flight queries.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		return err
+	}
+	fmt.Fprintln(stdout, "soferr: server stopped")
+	return nil
+}

@@ -1,0 +1,296 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a threadsafe io.Writer: runServe writes to it from the
+// command goroutine while the test polls it for the bound address.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var urlRE = regexp.MustCompile(`http://[0-9.:]+`)
+
+// startServe launches `soferr serve` on a free port and returns its
+// base URL plus a shutdown function that cancels the command and
+// returns its error.
+func startServe(t *testing.T, extraArgs ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stdout := &syncBuffer{}
+	stderr := &syncBuffer{}
+	done := make(chan error, 1)
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { done <- run(ctx, args, stdout, stderr) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var url string
+	for url == "" {
+		if m := urlRE.FindString(stdout.String()); m != "" {
+			url = m
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before binding: %v (stderr: %s)", err, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never printed its address (stdout: %q)", stdout.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return url, func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(60 * time.Second):
+			t.Fatal("serve did not stop after cancellation")
+			return nil
+		}
+	}
+}
+
+func postJSON(t *testing.T, url string, body map[string]interface{}) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func busyIdleSpecJSON(rate float64) map[string]interface{} {
+	return map[string]interface{}{
+		"components": []map[string]interface{}{{
+			"name":          "cache",
+			"rate_per_year": rate,
+			"trace":         map[string]interface{}{"kind": "busyidle", "period_seconds": 10, "busy_seconds": 4},
+		}},
+	}
+}
+
+// TestServeEndToEnd boots the real subcommand, queries it, and shuts it
+// down cleanly with a query in flight — the CLI-level acceptance test
+// for `soferr serve`.
+func TestServeEndToEnd(t *testing.T) {
+	url, stop := startServe(t)
+
+	// healthz answers.
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// A served MTTF query succeeds and carries the estimate.
+	status, body := postJSON(t, url+"/v1/mttf", map[string]interface{}{
+		"spec": busyIdleSpecJSON(1e6), "method": "montecarlo",
+		"trials": 2000, "seed": 3, "engine": "inverted",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("mttf status %d: %s", status, body)
+	}
+	var mttfResp struct {
+		SpecHash string `json:"spec_hash"`
+		Estimate struct {
+			MTTF float64 `json:"mttf_seconds"`
+		} `json:"estimate"`
+	}
+	if err := json.Unmarshal(body, &mttfResp); err != nil {
+		t.Fatalf("mttf response invalid: %v\n%s", err, body)
+	}
+	if !(mttfResp.Estimate.MTTF > 0) || !strings.HasPrefix(mttfResp.SpecHash, "sha256:") {
+		t.Errorf("mttf response malformed: %s", body)
+	}
+
+	// A served sweep succeeds.
+	status, body = postJSON(t, url+"/v1/sweep", map[string]interface{}{
+		"sources": []map[string]interface{}{{
+			"name":  "half",
+			"trace": map[string]interface{}{"kind": "busyidle", "period_seconds": 10, "busy_seconds": 5},
+		}},
+		"rates_per_year": []float64{10, 1e4},
+		"methods":        []string{"avf+sofr"},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", status, body)
+	}
+	var sweepResp struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(body, &sweepResp); err != nil || sweepResp.Count != 2 {
+		t.Fatalf("sweep response malformed (%v): %s", err, body)
+	}
+
+	// Fire a slow query, then cancel the command while it runs: the
+	// query must complete (graceful drain) and the command exit nil.
+	slow := make(chan error, 1)
+	slowStatus := make(chan int, 1)
+	go func() {
+		data, _ := json.Marshal(map[string]interface{}{
+			"spec": map[string]interface{}{
+				"components": []map[string]interface{}{{
+					"rate_per_year": 1e4,
+					"trace":         map[string]interface{}{"kind": "busyidle", "period_seconds": 86400, "busy_seconds": 43200},
+				}},
+			},
+			"method": "montecarlo", "engine": "superposed", "trials": 3000000,
+		})
+		resp, err := http.Post(url+"/v1/mttf", "application/json", bytes.NewReader(data))
+		if err != nil {
+			slow <- err
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		slowStatus <- resp.StatusCode
+		slow <- nil
+	}()
+	time.Sleep(50 * time.Millisecond) // let the query reach the server
+	if err := stop(); err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+	if err := <-slow; err != nil {
+		t.Fatalf("in-flight query failed across shutdown: %v", err)
+	}
+	if st := <-slowStatus; st != http.StatusOK {
+		t.Fatalf("in-flight query status %d", st)
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), []string{"serve", "-addr", "not-an-address"}, &out, &errOut); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	if err := run(context.Background(), []string{"serve", "-bogus"}, &out, &errOut); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+// TestRunSpecFile covers `soferr run <spec.json>`: the file-supplied
+// side of the shared Spec code path.
+func TestRunSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "system.json")
+	spec := busyIdleSpecJSON(1e6)
+	spec["name"] = "batch"
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, _, err := runCLI(t, "run", path, "-trials", "2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"spec batch", "avf+sofr", "montecarlo", "softarch", "MTTF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spec-file output missing %q:\n%s", want, out)
+		}
+	}
+
+	// JSON output is typed and carries the spec hash.
+	out, _, err = runCLI(t, "run", path, "-trials", "2000", "-json", "-methods", "MC,softarch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name      string `json:"name"`
+		SpecHash  string `json:"spec_hash"`
+		Estimates []struct {
+			Method string  `json:"method"`
+			MTTF   float64 `json:"mttf_seconds"`
+		} `json:"estimates"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("spec-file -json invalid: %v\n%s", err, out)
+	}
+	if doc.Name != "batch" || !strings.HasPrefix(doc.SpecHash, "sha256:") || len(doc.Estimates) != 2 {
+		t.Errorf("spec-file -json malformed: %+v", doc)
+	}
+	if doc.Estimates[0].Method != "montecarlo" || doc.Estimates[1].Method != "softarch" {
+		t.Errorf("methods = %+v", doc.Estimates)
+	}
+
+	// Bad files fail loudly.
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"components": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCLI(t, "run", badPath); err == nil {
+		t.Error("empty-component spec file accepted")
+	}
+	typoPath := filepath.Join(dir, "typo.json")
+	if err := os.WriteFile(typoPath, []byte(`{"component": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCLI(t, "run", typoPath); err == nil {
+		t.Error("unknown-field spec file accepted")
+	}
+	if _, _, err := runCLI(t, "run", filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+// TestRunExperimentIDWinsOverFile: a stray file in the working
+// directory named after an experiment id must not shadow the
+// experiment.
+func TestRunExperimentIDWinsOverFile(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"fig4", "all"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("not a spec"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+	out, _, err := runCLI(t, "run", "fig4", "-quick")
+	if err != nil {
+		t.Fatalf("file named fig4 shadowed the experiment: %v", err)
+	}
+	if !strings.Contains(out, "fig4") || !strings.Contains(out, "rel err") {
+		t.Errorf("fig4 output malformed:\n%s", out)
+	}
+}

@@ -12,8 +12,6 @@ import (
 
 	"github.com/soferr/soferr"
 	"github.com/soferr/soferr/internal/design"
-	"github.com/soferr/soferr/internal/experiments"
-	"github.com/soferr/soferr/internal/montecarlo"
 )
 
 // runSweep implements the `soferr sweep` subcommand: build a design-
@@ -49,54 +47,52 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		return fmt.Errorf("sweep: -csv and -json are mutually exclusive")
 	}
 
-	// Benchmark and combined-schedule sources simulate through the same
-	// runner the experiments use, so traces (and their caching) match
-	// `soferr run` exactly. Sources are lazy: nothing simulates unless
-	// its axis point is actually swept.
-	ropt := experiments.Options{Trials: *trials, Seed: *seed, Instructions: *instructions}
+	// Axis flags lower onto declarative SourceSpecs, compiled through
+	// the same soferr.Compiler path that serves file- and HTTP-supplied
+	// Specs (`soferr run spec.json`, `soferr serve`), so every entry
+	// point builds identical traces. Sources are lazy: nothing simulates
+	// unless its axis point is actually swept, and benchmark simulations
+	// are shared compiler-wide.
+	comp := &soferr.Compiler{Instructions: *instructions, SimSeed: *seed}
 	if *verbose {
-		ropt.Log = stderr
+		comp.Log = stderr
 	}
-	runner := experiments.NewRunner(ropt)
 
-	var sources []soferr.TraceSource
+	var srcSpecs []soferr.SourceSpec
 	for _, w := range splitList(*workloads) {
-		var wl design.Workload
 		switch w {
-		case "day":
-			wl = design.WorkloadDay
-		case "week":
-			wl = design.WorkloadWeek
-		case "combined":
-			wl = design.WorkloadCombined
+		case "day", "week", "combined":
+			srcSpecs = append(srcSpecs, soferr.SourceSpec{Name: w, Trace: soferr.TraceSpec{Kind: w}})
 		default:
 			return fmt.Errorf("sweep: unknown workload %q (want day, week, or combined)", w)
 		}
-		sources = append(sources, soferr.TraceSource{
-			Name:  w,
-			Build: func() (soferr.Trace, error) { return runner.WorkloadTrace(wl) },
-		})
 	}
 	if *duty != "" {
 		duties, err := parseFloats(*duty)
 		if err != nil {
 			return fmt.Errorf("sweep: -duty: %w", err)
 		}
-		ds, err := soferr.BusyIdleSources(*period, duties)
+		ds, err := soferr.BusyIdleSourceSpecs(*period, duties)
 		if err != nil {
 			return err
 		}
-		sources = append(sources, ds...)
+		srcSpecs = append(srcSpecs, ds...)
 	}
 	for _, b := range splitList(*bench) {
-		sources = append(sources, soferr.TraceSource{
+		srcSpecs = append(srcSpecs, soferr.SourceSpec{
 			Name:  b,
-			Build: func() (soferr.Trace, error) { return runner.ProcessorTrace(b) },
+			Trace: soferr.TraceSpec{Kind: soferr.TraceKindBenchmark, Benchmark: b},
 		})
 	}
-	if len(sources) == 0 {
+	if len(srcSpecs) == 0 {
 		return fmt.Errorf("sweep: no sources (give -workloads, -duty, and/or -bench)")
 	}
+	for _, sp := range srcSpecs {
+		if err := sp.Trace.Validate(); err != nil {
+			return fmt.Errorf("sweep: source %s: %w", sp.Name, err)
+		}
+	}
+	sources := comp.Sources(srcSpecs)
 
 	var ratesPerYear []float64
 	if *ns != "" {
@@ -141,7 +137,7 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		opts = append(opts, soferr.WithTrials(*trials))
 	}
 	if *engineName != "" {
-		engine, err := montecarlo.EngineByName(*engineName)
+		engine, err := soferr.EngineByName(*engineName)
 		if err != nil {
 			return err
 		}

@@ -31,6 +31,12 @@
 //     compiled System per unique configuration and deterministic
 //     per-cell seeds, so full-grid results are bit-identical for any
 //     worker count. The paper's Section 5 tables run on this engine.
+//   - A declarative system description (Spec): components as named
+//     trace constructors plus rates and counts, JSON-serializable, with
+//     validation, a stable content hash (equal Specs hash equal), and
+//     Compile to a *System — the wire format of the `soferr serve` HTTP
+//     query service, whose compiled-System LRU is keyed by that hash. A
+//     Compiler shares benchmark simulations across many Specs.
 //   - The flat convenience functions for one-shot use: the AVF step
 //     (AVF, AVFMTTF), the SOFR step (SOFRMTTF), the first-principles
 //     Monte-Carlo estimator (MonteCarloMTTF), and the SoftArch-style
@@ -77,7 +83,10 @@
 //	})
 //
 // The same engine backs the `soferr sweep` CLI subcommand and the
-// paper's Section 5 experiment tables (`soferr run fig5 ...`).
+// paper's Section 5 experiment tables (`soferr run fig5 ...`), and the
+// whole query surface is servable over HTTP (`soferr serve`): clients
+// POST a Spec and estimate options, and equal Specs share one compiled
+// System server-side. See README.md, "Serving".
 //
 // See README.md for an overview, examples/ for runnable programs, and
 // DESIGN.md / EXPERIMENTS.md for the mapping from the paper's tables

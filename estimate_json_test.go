@@ -1,0 +1,254 @@
+package soferr_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/soferr/soferr"
+)
+
+// estimatesEqual compares every field bit-for-bit, treating NaN as
+// equal to NaN (the one case == cannot express).
+func estimatesEqual(a, b soferr.Estimate) bool {
+	feq := func(x, y float64) bool {
+		return math.Float64bits(x) == math.Float64bits(y)
+	}
+	return a.Method == b.Method && feq(a.MTTF, b.MTTF) && feq(a.FIT, b.FIT) &&
+		feq(a.StdErr, b.StdErr) && a.Trials == b.Trials && a.Seed == b.Seed &&
+		a.Engine == b.Engine && a.Cached == b.Cached
+}
+
+func roundTrip(t *testing.T, est soferr.Estimate) {
+	t.Helper()
+	data, err := json.Marshal(est)
+	if err != nil {
+		t.Fatalf("marshal %+v: %v", est, err)
+	}
+	var back soferr.Estimate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if !estimatesEqual(est, back) {
+		t.Errorf("round trip changed the estimate:\n in  %+v\n out %+v\n via %s", est, back, data)
+	}
+}
+
+// TestEstimateJSONRoundTripFromQueries is the regression test for the
+// confirmed PR 4 bug: json.Unmarshal(json.Marshal(est)) used to drop
+// Method/MTTF and error on the string-encoded engine name. Every method
+// must round-trip exactly, from real queries.
+func TestEstimateJSONRoundTripFromQueries(t *testing.T) {
+	ctx := context.Background()
+	tr := mustBusyIdle(t, 10, 4)
+	sys, err := soferr.NewSystem([]soferr.Component{{Name: "c", RatePerYear: 1e6, Trace: tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range soferr.Methods() {
+		est, err := sys.MTTF(ctx, m,
+			soferr.WithTrials(2000), soferr.WithSeed(7), soferr.WithEngine(soferr.Inverted))
+		if err != nil {
+			t.Fatal(err)
+		}
+		roundTrip(t, est)
+	}
+	// Cached Monte-Carlo estimates round-trip too (Cached = true).
+	est, err := sys.MTTF(ctx, soferr.MonteCarlo,
+		soferr.WithTrials(2000), soferr.WithSeed(7), soferr.WithEngine(soferr.Inverted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Cached {
+		t.Fatal("second identical query not served from cache")
+	}
+	roundTrip(t, est)
+
+	// Infinite-MTTF estimates (a system that cannot fail) round-trip
+	// through the "+Inf" string encoding.
+	idle, err := soferr.PeriodicTrace(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	never, err := soferr.NewSystem([]soferr.Component{{Name: "idle", RatePerYear: 5, Trace: idle}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []soferr.Method{soferr.AVFSOFR, soferr.SoftArch} {
+		inf, err := never.MTTF(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(inf.MTTF, 1) {
+			t.Fatalf("%v MTTF = %v, want +Inf", m, inf.MTTF)
+		}
+		roundTrip(t, inf)
+	}
+}
+
+// TestEstimateJSONRoundTripProperty fuzzes the encoder with randomized
+// estimates for all three methods, including non-finite MTTF/FIT/StdErr
+// values, and asserts exact field recovery.
+func TestEstimateJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	specials := []float64{0, 1, 1e-300, 1e300, math.Inf(1), math.MaxFloat64, math.SmallestNonzeroFloat64}
+	randFloat := func() float64 {
+		if rng.Intn(4) == 0 {
+			return specials[rng.Intn(len(specials))]
+		}
+		return math.Ldexp(rng.Float64(), rng.Intn(600)-300)
+	}
+	methods := soferr.Methods()
+	engines := []soferr.Engine{soferr.Superposed, soferr.Naive, soferr.Inverted}
+	for i := 0; i < 500; i++ {
+		m := methods[rng.Intn(len(methods))]
+		est := soferr.Estimate{
+			Method: m,
+			MTTF:   randFloat(),
+			FIT:    randFloat(),
+		}
+		if m == soferr.MonteCarlo {
+			est.StdErr = randFloat()
+			est.Trials = rng.Intn(1 << 20)
+			est.Seed = rng.Uint64()
+			est.Engine = engines[rng.Intn(len(engines))]
+			est.Cached = rng.Intn(2) == 0
+		}
+		roundTrip(t, est)
+	}
+}
+
+func TestJSONFloatEncodings(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{`"+Inf"`, math.Inf(1)},
+		{`"Inf"`, math.Inf(1)},
+		{`"+Infinity"`, math.Inf(1)},
+		{`"-Inf"`, math.Inf(-1)},
+		{`"-Infinity"`, math.Inf(-1)},
+		{`"nan"`, math.NaN()},
+		{`"NaN"`, math.NaN()},
+		{`"1.5"`, 1.5},
+		{`2.25`, 2.25},
+	}
+	for _, c := range cases {
+		var f soferr.JSONFloat
+		if err := json.Unmarshal([]byte(c.in), &f); err != nil {
+			t.Errorf("unmarshal %s: %v", c.in, err)
+			continue
+		}
+		if got := float64(f); math.Float64bits(got) != math.Float64bits(c.want) {
+			t.Errorf("unmarshal %s = %v, want %v", c.in, got, c.want)
+		}
+	}
+	var f soferr.JSONFloat
+	if err := json.Unmarshal([]byte(`"bogus"`), &f); err == nil {
+		t.Error("bogus float string accepted")
+	}
+
+	// Per encoding/json convention, null is a no-op for Estimate too.
+	est := soferr.Estimate{Method: soferr.SoftArch, MTTF: 42}
+	if err := json.Unmarshal([]byte(`null`), &est); err != nil {
+		t.Errorf("unmarshal null: %v", err)
+	}
+	if est.MTTF != 42 {
+		t.Errorf("null overwrote the estimate: %+v", est)
+	}
+}
+
+// TestZeroMTTFEstimate is the regression test for the zero-MTTF FIT
+// bug: an MTTF of zero must report an infinite failure rate, not the
+// FIT = 0 that means "cannot fail", and RelStdErr must be 0 (not NaN)
+// for deterministic zero-MTTF estimates.
+func TestZeroMTTFEstimate(t *testing.T) {
+	est := soferr.Estimate{Method: soferr.SoftArch, MTTF: 0, FIT: math.Inf(1)}
+	if got := est.RelStdErr(); got != 0 {
+		t.Errorf("deterministic zero-MTTF RelStdErr = %v, want 0", got)
+	}
+	roundTrip(t, est)
+
+	// Stochastic zero-MTTF with zero spread is deterministic in effect.
+	mc := soferr.Estimate{Method: soferr.MonteCarlo, MTTF: 0, StdErr: 0, Trials: 10}
+	if got := mc.RelStdErr(); got != 0 {
+		t.Errorf("zero-stderr zero-MTTF RelStdErr = %v, want 0", got)
+	}
+
+	// Finite estimates keep the usual ratio.
+	fin := soferr.Estimate{Method: soferr.MonteCarlo, MTTF: 100, StdErr: 5}
+	if got := fin.RelStdErr(); got != 0.05 {
+		t.Errorf("RelStdErr = %v, want 0.05", got)
+	}
+	// Infinite estimates are perfectly known.
+	inf := soferr.Estimate{Method: soferr.SoftArch, MTTF: math.Inf(1)}
+	if got := inf.RelStdErr(); got != 0 {
+		t.Errorf("infinite-MTTF RelStdErr = %v, want 0", got)
+	}
+}
+
+// TestNameParsingCaseInsensitive covers the usability satellite: method
+// and engine names parse case-insensitively through the single shared
+// parser, and truly unknown names still produce the full rejection
+// message.
+func TestNameParsingCaseInsensitive(t *testing.T) {
+	methodCases := map[string]soferr.Method{
+		"MC": soferr.MonteCarlo, "MonteCarlo": soferr.MonteCarlo, "MONTECARLO": soferr.MonteCarlo,
+		"AVF+SOFR": soferr.AVFSOFR, "AvfSofr": soferr.AVFSOFR,
+		"SoftArch": soferr.SoftArch, "SOFTARCH": soferr.SoftArch,
+	}
+	for name, want := range methodCases {
+		got, err := soferr.MethodByName(name)
+		if err != nil || got != want {
+			t.Errorf("MethodByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := soferr.MethodByName("warp"); err == nil {
+		t.Error("unknown method accepted")
+	} else if !strings.Contains(err.Error(), `"warp"`) ||
+		!strings.Contains(err.Error(), "avf+sofr, montecarlo, or softarch") {
+		t.Errorf("unknown-method message unhelpful: %v", err)
+	}
+
+	engineCases := map[string]soferr.Engine{
+		"Inverted": soferr.Inverted, "INVERTED": soferr.Inverted,
+		"Superposed": soferr.Superposed, "Naive": soferr.Naive,
+	}
+	for name, want := range engineCases {
+		got, err := soferr.EngineByName(name)
+		if err != nil || got != want {
+			t.Errorf("EngineByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := soferr.EngineByName("quantum"); err == nil {
+		t.Error("unknown engine accepted")
+	} else if !strings.Contains(err.Error(), `"quantum"`) ||
+		!strings.Contains(err.Error(), "superposed, naive, or inverted") {
+		t.Errorf("unknown-engine message unhelpful: %v", err)
+	}
+}
+
+// TestInvalidArgumentSentinel: out-of-domain query arguments are
+// tagged with ErrInvalidArgument so serving layers can classify them
+// as caller mistakes without parsing messages.
+func TestInvalidArgumentSentinel(t *testing.T) {
+	ctx := context.Background()
+	tr := mustBusyIdle(t, 10, 4)
+	sys, err := soferr.NewSystem([]soferr.Component{{Name: "c", RatePerYear: 10, Trace: tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Reliability(ctx, -1); !errors.Is(err, soferr.ErrInvalidArgument) {
+		t.Errorf("Reliability(-1) error %v is not ErrInvalidArgument", err)
+	}
+	if _, err := sys.FailureQuantile(ctx, 1.5); !errors.Is(err, soferr.ErrInvalidArgument) {
+		t.Errorf("FailureQuantile(1.5) error %v is not ErrInvalidArgument", err)
+	}
+	if _, err := sys.Reliability(ctx, 86400); err != nil {
+		t.Errorf("valid query tagged: %v", err)
+	}
+}

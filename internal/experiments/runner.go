@@ -12,8 +12,8 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/soferr/soferr/internal/benchsim"
 	"github.com/soferr/soferr/internal/design"
-	"github.com/soferr/soferr/internal/isa"
 	"github.com/soferr/soferr/internal/montecarlo"
 	"github.com/soferr/soferr/internal/trace"
 	"github.com/soferr/soferr/internal/turandot"
@@ -50,7 +50,7 @@ func (o Options) withDefaults() Options {
 		o.Engine = montecarlo.Inverted
 	}
 	if o.Instructions <= 0 {
-		o.Instructions = 300000
+		o.Instructions = benchsim.DefaultInstructions
 	}
 	if o.Quick {
 		if o.Trials > 30000 {
@@ -94,7 +94,9 @@ func (r *Runner) logf(format string, args ...interface{}) {
 
 // benchTraces simulates one benchmark on the Table 1 machine and
 // returns the four component masking traces, cached per benchmark.
-// Phased-program names (workload.PhasedByName) are accepted too.
+// Phased-program names (workload.PhasedByName) are accepted too. The
+// pipeline itself is the shared internal/benchsim implementation, so
+// harness-built traces are bit-identical to Spec/HTTP-built ones.
 func (r *Runner) benchTraces(name string) (*turandot.ComponentTraces, error) {
 	r.mu.Lock()
 	if t, ok := r.traces[name]; ok {
@@ -103,33 +105,7 @@ func (r *Runner) benchTraces(name string) (*turandot.ComponentTraces, error) {
 	}
 	r.mu.Unlock()
 
-	var (
-		prog []isa.Inst
-		err  error
-	)
-	if pp, perr := workload.PhasedByName(name); perr == nil {
-		prog, err = pp.Generate(r.opt.Instructions, r.opt.Seed)
-	} else {
-		var prof workload.Profile
-		prof, err = workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		prog, err = prof.Generate(r.opt.Instructions, r.opt.Seed)
-	}
-	if err != nil {
-		return nil, err
-	}
-	sim, err := turandot.New(turandot.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	r.logf("simulating %s (%d instructions)", name, len(prog))
-	res, err := sim.Run(prog)
-	if err != nil {
-		return nil, fmt.Errorf("simulate %s: %w", name, err)
-	}
-	t, err := res.Traces()
+	t, err := benchsim.Simulate(name, r.opt.Instructions, r.opt.Seed, r.opt.Log)
 	if err != nil {
 		return nil, err
 	}
@@ -155,21 +131,9 @@ func (r *Runner) ProcessorTrace(name string) (*trace.Piecewise, error) {
 	if err != nil {
 		return nil, err
 	}
-	intR, fpR, decR := design.UnitRatesPerSecond()
-	union, err := trace.WeightedUnion(
-		[]float64{intR, fpR, decR},
-		[]*trace.Piecewise{t.Int, t.FP, t.Decode},
-	)
+	union, err := benchsim.ProcessorUnion(name, t)
 	if err != nil {
-		return nil, fmt.Errorf("union %s: %w", name, err)
-	}
-	// Coarsening preserves the AVF exactly and distorts survival
-	// quantities only at O((rate x window)^2) - unmeasurable at any
-	// rate in the design space - while making Monte-Carlo lookups on
-	// low-IPC benchmarks several times faster.
-	union, err = trace.Coarsen(union, 200000)
-	if err != nil {
-		return nil, fmt.Errorf("coarsen %s: %w", name, err)
+		return nil, err
 	}
 	r.mu.Lock()
 	r.procs[name] = union
@@ -207,12 +171,13 @@ func (r *Runner) WorkloadTrace(w design.Workload) (trace.Trace, error) {
 }
 
 // Representative benchmarks for workload families and the combined
-// schedule (the paper leaves the choice open).
+// schedule: the shared internal/benchsim definition, so harness-built
+// and Spec-built systems agree by construction.
 const (
-	specIntRepresentative = "gzip"
-	specFPRepresentative  = "swim"
-	combinedBenchA        = "gzip"
-	combinedBenchB        = "swim"
+	specIntRepresentative = benchsim.SPECIntRepresentative
+	specFPRepresentative  = benchsim.SPECFPRepresentative
+	combinedBenchA        = benchsim.SPECIntRepresentative
+	combinedBenchB        = benchsim.SPECFPRepresentative
 )
 
 // Experiment is a registered, runnable experiment.

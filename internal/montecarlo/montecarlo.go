@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -88,9 +89,9 @@ func (e Engine) String() string {
 	}
 }
 
-// EngineByName parses a CLI engine name.
+// EngineByName parses a CLI engine name, case-insensitively.
 func EngineByName(name string) (Engine, error) {
-	switch name {
+	switch strings.ToLower(name) {
 	case "superposed":
 		return Superposed, nil
 	case "naive":

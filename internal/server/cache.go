@@ -1,0 +1,168 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/soferr/soferr"
+)
+
+// systemCache is a bounded LRU of compiled Systems keyed by Spec hash,
+// with coalesced compilation: concurrent requests for one uncached hash
+// produce exactly one compile, and everyone waits on it. Equal Specs
+// hash equal, so every request for an equivalent system shares one
+// *soferr.System — and with it the System's own memoized query cache,
+// which is what turns a repeated identical Spec+query into a pure
+// cache hit.
+type systemCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List               // front = most recently used; holds *cacheEntry
+	m   map[string]*list.Element // hash -> element
+
+	hits      int64
+	misses    int64
+	evictions int64
+
+	// Compile accounting lives here (not on Server) because the work
+	// runs on the entry's own goroutine, which may outlive the request
+	// that started it.
+	compiles  atomic.Int64
+	compileNs atomic.Int64
+
+	// compileSem bounds how many compiles run at once, and pending
+	// bounds how many more may queue behind them. Compile goroutines
+	// are detached from their requesters (a timed-out requester
+	// releases its query slot and leaves the compile to finish into the
+	// cache), so without both bounds a client churning fresh specs
+	// under tiny deadlines could pile up unbounded concurrent — or
+	// unbounded queued — simulations.
+	compileSem chan struct{}
+	pending    atomic.Int64
+}
+
+// compileQueueFactor: pending compiles (running + queued) are capped at
+// this multiple of the concurrent-compile bound; past it new specs are
+// refused with errCompileBacklog instead of queued.
+const compileQueueFactor = 8
+
+// errCompileBacklog is returned (and mapped to 503) when the compile
+// queue is full: the request was well-formed, the server is overloaded.
+var errCompileBacklog = errors.New("server busy: compile backlog full, retry later")
+
+// cacheEntry is one compiled (or compiling) system. The once gate makes
+// compilation single-flight: the entry is published in the map before
+// anyone compiles, and every requester waits on done.
+type cacheEntry struct {
+	hash string
+	once sync.Once
+	done chan struct{}
+
+	sys       *soferr.System
+	err       error
+	compileNs int64
+}
+
+func newSystemCache(capacity, maxCompiles int) *systemCache {
+	if capacity <= 0 {
+		capacity = defaultCacheSize
+	}
+	if maxCompiles <= 0 {
+		maxCompiles = 1
+	}
+	return &systemCache{
+		cap:        capacity,
+		ll:         list.New(),
+		m:          make(map[string]*list.Element),
+		compileSem: make(chan struct{}, maxCompiles),
+	}
+}
+
+// get returns the entry for hash, creating (and inserting) a fresh one
+// on miss. hit reports whether the entry already existed — i.e. the
+// compile work (successful or failed) was already claimed by an earlier
+// request.
+func (c *systemCache) get(hash string) (e *cacheEntry, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[hash]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry), true
+	}
+	c.misses++
+	e = &cacheEntry{hash: hash, done: make(chan struct{})}
+	c.m[hash] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*cacheEntry).hash)
+		c.evictions++
+	}
+	return e, false
+}
+
+// compile returns the entry's single-flight compilation result, waiting
+// at most until ctx ends. The compile itself runs on its own goroutine
+// and is never interrupted (the timing simulator has no preemption
+// points); a caller whose deadline fires stops waiting — releasing its
+// concurrency slot — while the finished System still lands in the
+// cache for the next request. Failed compiles are dropped so a later
+// spec with the same hash can retry and invalid specs cannot occupy
+// LRU slots. (An entry evicted while still compiling finishes normally
+// for its waiters; a concurrent re-request of the same hash may then
+// compile once more — bounded duplication under eviction pressure,
+// never a wrong answer.)
+func (e *cacheEntry) compile(ctx context.Context, c *systemCache, comp *soferr.Compiler, spec soferr.Spec) (*soferr.System, error) {
+	e.once.Do(func() {
+		if c.pending.Add(1) > int64(cap(c.compileSem))*compileQueueFactor {
+			c.pending.Add(-1)
+			e.err = errCompileBacklog
+			c.drop(e)
+			close(e.done)
+			return
+		}
+		go func() {
+			defer c.pending.Add(-1)
+			c.compileSem <- struct{}{}
+			defer func() { <-c.compileSem }()
+			start := time.Now()
+			e.sys, e.err = comp.Compile(spec)
+			e.compileNs = time.Since(start).Nanoseconds()
+			c.compiles.Add(1)
+			c.compileNs.Add(e.compileNs)
+			if e.err != nil {
+				c.drop(e)
+			}
+			close(e.done)
+		}()
+	})
+	select {
+	case <-e.done:
+		return e.sys, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// drop removes e from the cache — but only if its hash still maps to
+// this exact entry; after an eviction-and-reinsert cycle the slot may
+// hold a newer, healthy entry that must not be discarded.
+func (c *systemCache) drop(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[e.hash]; ok && el.Value.(*cacheEntry) == e {
+		c.ll.Remove(el)
+		delete(c.m, e.hash)
+	}
+}
+
+func (c *systemCache) stats() (hits, misses, evictions int64, size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.ll.Len(), c.cap
+}

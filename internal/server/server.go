@@ -1,0 +1,678 @@
+// Package server exposes the soferr estimation stack behind a stable
+// HTTP query interface: clients POST a declarative system Spec plus
+// estimate options and get JSON estimates back, with the expensive
+// compile step amortized across requests and users.
+//
+// Layering (see DESIGN.md, "Serving layer"):
+//
+//   - soferr.Spec is the wire format: a canonical, hashable system
+//     description. Equal Specs hash equal.
+//   - A bounded LRU keyed by Spec hash maps each distinct Spec to one
+//     compiled *soferr.System, with single-flight compilation. Because
+//     a System memoizes its own deterministic and seeded-Monte-Carlo
+//     queries, a repeated identical Spec+query is served entirely from
+//     cache — bit-identical to recomputation.
+//   - Every query endpoint runs under a server-wide concurrency limit
+//     and a per-request deadline mapped onto the query's context (and
+//     soferr.WithTimeLimit for estimate queries).
+//
+// Endpoints:
+//
+//	POST /v1/mttf        one estimate: {spec, method, trials, seed, engine, workers, timeout_ms}
+//	POST /v1/compare     several methods on one compiled system: {spec, methods, ...}
+//	POST /v1/reliability survival probability: {spec, t_seconds, ...}
+//	POST /v1/quantile    failure-time quantile: {spec, p, ...}
+//	POST /v1/sweep       a design-space grid: {sources, rates_per_year, counts, methods, seed, ...}
+//	GET  /healthz        liveness
+//	GET  /metrics        query counts, cache hits, compile time (JSON)
+//
+// Errors are structured: {"error": {"status": N, "message": "..."}}.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/soferr/soferr"
+)
+
+// Defaults for Config zero values.
+const (
+	defaultCacheSize  = 128
+	defaultMaxTimeout = 60 * time.Second
+	maxRequestBytes   = 1 << 20
+	// maxRequestTrials caps client-supplied Monte-Carlo trial counts
+	// (50x the package default — sub-0.1% standard error — is plenty for
+	// any served query; the deadline bounds the time either way).
+	maxRequestTrials = 50 * soferr.DefaultTrials
+	// maxSweepCells caps a served sweep's grid size: cell structs are
+	// small but the count is the product of client-supplied axes, and
+	// every cell is at least one query.
+	maxSweepCells = 65536
+)
+
+// Config tunes a Server. The zero value serves with sane defaults.
+type Config struct {
+	// CacheSize bounds the compiled-System LRU (default 128 systems).
+	CacheSize int
+	// MaxConcurrent bounds in-flight query requests (default
+	// GOMAXPROCS); excess requests wait, and give up with 503 when their
+	// context ends first.
+	MaxConcurrent int
+	// DefaultTrials is the Monte-Carlo trial count for requests that do
+	// not set one (default soferr.DefaultTrials).
+	DefaultTrials int
+	// MaxTimeout caps (and, for requests that set none, supplies) the
+	// per-request deadline (default 60s; negative disables).
+	MaxTimeout time.Duration
+	// Compiler compiles Specs; supply one to share its benchmark
+	// simulation cache with other users (default: a fresh Compiler).
+	Compiler *soferr.Compiler
+	// Log, when non-nil, receives one line per failed request.
+	Log io.Writer
+}
+
+// Server is the soferr query service: an http.Handler serving the /v1
+// endpoints plus health and metrics. Create it with New; it is safe
+// for concurrent use. It keeps no long-lived goroutines, but Spec
+// compiles run on short-lived background goroutines (bounded in number
+// by the compile semaphore and queue) that may briefly outlive a
+// timed-out request — after http.Server.Shutdown returns, an in-flight
+// compile can still be finishing into the cache.
+type Server struct {
+	cfg   Config
+	comp  *soferr.Compiler
+	cache *systemCache
+	sem   chan struct{}
+	mux   *http.ServeMux
+	start time.Time
+
+	queries    [5]atomic.Int64 // indexed by endpoint
+	errorCount atomic.Int64
+	inflight   atomic.Int64
+}
+
+// endpoint indexes the per-endpoint query counters.
+type endpoint int
+
+const (
+	epMTTF endpoint = iota
+	epCompare
+	epReliability
+	epQuantile
+	epSweep
+)
+
+var endpointNames = [5]string{"mttf", "compare", "reliability", "quantile", "sweep"}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DefaultTrials <= 0 {
+		cfg.DefaultTrials = soferr.DefaultTrials
+	}
+	if cfg.MaxTimeout == 0 {
+		cfg.MaxTimeout = defaultMaxTimeout
+	}
+	comp := cfg.Compiler
+	if comp == nil {
+		comp = &soferr.Compiler{}
+	}
+	s := &Server{
+		cfg:   cfg,
+		comp:  comp,
+		cache: newSystemCache(cfg.CacheSize, cfg.MaxConcurrent),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/mttf", s.query(epMTTF, s.handleMTTF))
+	s.mux.HandleFunc("/v1/compare", s.query(epCompare, s.handleCompare))
+	s.mux.HandleFunc("/v1/reliability", s.query(epReliability, s.handleReliability))
+	s.mux.HandleFunc("/v1/quantile", s.query(epQuantile, s.handleQuantile))
+	s.mux.HandleFunc("/v1/sweep", s.query(epSweep, s.handleSweep))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// httpError is the structured error envelope every failure returns.
+type httpError struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	s.errorCount.Add(1)
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, "%s %s -> %d %s\n", r.Method, r.URL.Path, status, msg)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error httpError `json:"error"`
+	}{httpError{Status: status, Message: msg}})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// statusFor maps a query failure to an HTTP status: bad specs and
+// options are the client's fault, deadlines are 504, a system that
+// cannot fail is a well-formed but unanswerable Monte-Carlo query
+// (422), everything else is 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, soferr.ErrNoFailurePossible):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// query wraps a handler with the shared per-request machinery: POST
+// enforcement, the concurrency limiter, and the query counter.
+func (s *Server) query(ep endpoint, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.writeError(w, r, http.StatusMethodNotAllowed, "POST a JSON request body")
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			s.writeError(w, r, http.StatusServiceUnavailable, "server saturated; request context ended while waiting")
+			return
+		}
+		s.queries[ep].Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		h(w, r)
+	}
+}
+
+// decode strictly parses the request body into v: unknown fields are
+// rejected so typoed options fail loudly instead of silently meaning
+// their defaults.
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request: %v", err)
+	}
+	return nil
+}
+
+// timeout resolves the effective per-request deadline: the request's
+// timeout_ms capped by (or defaulting to) Config.MaxTimeout.
+func (s *Server) timeout(requestMS int64) time.Duration {
+	d := time.Duration(requestMS) * time.Millisecond
+	if s.cfg.MaxTimeout > 0 && (d <= 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// compiled resolves a request's Spec to its compiled System through the
+// LRU, waiting at most until ctx ends. cacheHit reports whether the
+// hash was already present (compile claimed by an earlier request).
+func (s *Server) compiled(ctx context.Context, spec soferr.Spec) (sys *soferr.System, hash string, cacheHit bool, compileNs int64, err error) {
+	hash = spec.Hash()
+	entry, hit := s.cache.get(hash)
+	sys, err = entry.compile(ctx, s.cache, s.comp, spec)
+	if err != nil {
+		return nil, hash, hit, 0, err
+	}
+	return sys, hash, hit, entry.compileNs, nil
+}
+
+// compileStatus maps a compiled() failure: deadline/cancellation keep
+// their query semantics, a full compile backlog is overload (503),
+// everything else is a bad spec.
+func compileStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return statusFor(err)
+	}
+	if errors.Is(err, errCompileBacklog) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// estimateOptions are the option fields shared by /v1/mttf and
+// /v1/compare.
+type estimateOptions struct {
+	Trials    int    `json:"trials,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	Engine    string `json:"engine,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// options lowers the wire fields onto soferr.EstimateOptions. The
+// request deadline is not applied here: single-query endpoints append
+// WithTimeLimit themselves, and the sweep endpoint deliberately puts
+// its one deadline on the whole-request context instead of every cell.
+func (s *Server) options(o estimateOptions) ([]soferr.EstimateOption, error) {
+	trials := o.Trials
+	if trials <= 0 {
+		trials = s.cfg.DefaultTrials
+	}
+	// Clamp untrusted resource knobs: trials is compute time (the
+	// deadline bounds it, but keep requests sane) and workers is
+	// goroutines spawned before any deadline can fire.
+	if trials > maxRequestTrials {
+		trials = maxRequestTrials
+	}
+	workers := o.Workers
+	if workers < 0 {
+		workers = 0
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	opts := []soferr.EstimateOption{
+		soferr.WithTrials(trials),
+		soferr.WithSeed(o.Seed),
+		soferr.WithWorkers(workers),
+	}
+	if o.Engine != "" {
+		engine, err := soferr.EngineByName(o.Engine)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, soferr.WithEngine(engine))
+	}
+	return opts, nil
+}
+
+// withDeadline appends the request deadline as a WithTimeLimit option
+// (clamped by the whole-request context the handlers also create).
+func (s *Server) withDeadline(opts []soferr.EstimateOption, timeoutMS int64) []soferr.EstimateOption {
+	if d := s.timeout(timeoutMS); d > 0 {
+		opts = append(opts, soferr.WithTimeLimit(d))
+	}
+	return opts
+}
+
+type mttfRequest struct {
+	Spec   soferr.Spec `json:"spec"`
+	Method string      `json:"method,omitempty"`
+	estimateOptions
+}
+
+type mttfResponse struct {
+	SpecHash        string          `json:"spec_hash"`
+	CompileCacheHit bool            `json:"compile_cache_hit"`
+	CompileMS       float64         `json:"compile_ms"`
+	Estimate        soferr.Estimate `json:"estimate"`
+}
+
+func (s *Server) handleMTTF(w http.ResponseWriter, r *http.Request) {
+	var req mttfRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	methodName := req.Method
+	if methodName == "" {
+		methodName = "montecarlo"
+	}
+	method, err := soferr.MethodByName(methodName)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts, err := s.options(req.estimateOptions)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts = s.withDeadline(opts, req.TimeoutMS)
+	// One deadline governs the whole request — compile wait plus query.
+	ctx, cancel := s.queryContext(r, req.TimeoutMS)
+	defer cancel()
+	sys, hash, hit, compileNs, err := s.compiled(ctx, req.Spec)
+	if err != nil {
+		s.writeError(w, r, compileStatus(err), err.Error())
+		return
+	}
+	est, err := sys.MTTF(ctx, method, opts...)
+	if err != nil {
+		s.writeError(w, r, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, mttfResponse{
+		SpecHash:        hash,
+		CompileCacheHit: hit,
+		CompileMS:       float64(compileNs) / 1e6,
+		Estimate:        est,
+	})
+}
+
+type compareRequest struct {
+	Spec    soferr.Spec `json:"spec"`
+	Methods []string    `json:"methods,omitempty"`
+	estimateOptions
+}
+
+type compareResponse struct {
+	SpecHash        string            `json:"spec_hash"`
+	CompileCacheHit bool              `json:"compile_cache_hit"`
+	CompileMS       float64           `json:"compile_ms"`
+	Estimates       []soferr.Estimate `json:"estimates"`
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req compareRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	methods, err := parseMethods(req.Methods)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts, err := s.options(req.estimateOptions)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts = s.withDeadline(opts, req.TimeoutMS)
+	// One deadline governs the whole request: the per-method
+	// WithTimeLimit above is clamped by this parent context, so
+	// comparing N methods cannot take N deadlines.
+	ctx, cancel := s.queryContext(r, req.TimeoutMS)
+	defer cancel()
+	sys, hash, hit, compileNs, err := s.compiled(ctx, req.Spec)
+	if err != nil {
+		s.writeError(w, r, compileStatus(err), err.Error())
+		return
+	}
+	ests, err := sys.CompareWith(ctx, opts, methods...)
+	if err != nil {
+		s.writeError(w, r, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, compareResponse{
+		SpecHash:        hash,
+		CompileCacheHit: hit,
+		CompileMS:       float64(compileNs) / 1e6,
+		Estimates:       ests,
+	})
+}
+
+func parseMethods(names []string) ([]soferr.Method, error) {
+	if len(names) == 0 {
+		return nil, nil // soferr defaults to all three
+	}
+	out := make([]soferr.Method, len(names))
+	for i, n := range names {
+		m, err := soferr.MethodByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+type reliabilityRequest struct {
+	Spec      soferr.Spec `json:"spec"`
+	TSeconds  float64     `json:"t_seconds"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+}
+
+type reliabilityResponse struct {
+	SpecHash        string           `json:"spec_hash"`
+	CompileCacheHit bool             `json:"compile_cache_hit"`
+	TSeconds        soferr.JSONFloat `json:"t_seconds"`
+	Reliability     soferr.JSONFloat `json:"reliability"`
+}
+
+func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
+	var req reliabilityRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.queryContext(r, req.TimeoutMS)
+	defer cancel()
+	sys, hash, hit, _, err := s.compiled(ctx, req.Spec)
+	if err != nil {
+		s.writeError(w, r, compileStatus(err), err.Error())
+		return
+	}
+	rel, err := sys.Reliability(ctx, req.TSeconds)
+	if err != nil {
+		s.writeError(w, r, queryStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, reliabilityResponse{
+		SpecHash:        hash,
+		CompileCacheHit: hit,
+		TSeconds:        soferr.JSONFloat(req.TSeconds),
+		Reliability:     soferr.JSONFloat(rel),
+	})
+}
+
+type quantileRequest struct {
+	Spec      soferr.Spec `json:"spec"`
+	P         float64     `json:"p"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+}
+
+type quantileResponse struct {
+	SpecHash        string           `json:"spec_hash"`
+	CompileCacheHit bool             `json:"compile_cache_hit"`
+	P               soferr.JSONFloat `json:"p"`
+	TSeconds        soferr.JSONFloat `json:"t_seconds"`
+}
+
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	var req quantileRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.queryContext(r, req.TimeoutMS)
+	defer cancel()
+	sys, hash, hit, _, err := s.compiled(ctx, req.Spec)
+	if err != nil {
+		s.writeError(w, r, compileStatus(err), err.Error())
+		return
+	}
+	t, err := sys.FailureQuantile(ctx, req.P)
+	if err != nil {
+		s.writeError(w, r, queryStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, quantileResponse{
+		SpecHash:        hash,
+		CompileCacheHit: hit,
+		P:               soferr.JSONFloat(req.P),
+		TSeconds:        soferr.JSONFloat(t),
+	})
+}
+
+// queryContext applies the per-request deadline to non-estimate queries
+// (estimate queries get theirs via WithTimeLimit).
+func (s *Server) queryContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	if d := s.timeout(timeoutMS); d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// queryStatus distinguishes the distribution queries' argument errors
+// (an out-of-domain time or probability) from internal failures.
+func queryStatus(err error) int {
+	if errors.Is(err, soferr.ErrInvalidArgument) {
+		return http.StatusBadRequest
+	}
+	return statusFor(err)
+}
+
+// sweepRequest spells out its option fields instead of embedding
+// estimateOptions: the grid's base Seed and the per-query seed would
+// otherwise collide on the "seed" JSON tag and one would silently
+// decode to zero.
+type sweepRequest struct {
+	Name         string              `json:"name,omitempty"`
+	Sources      []soferr.SourceSpec `json:"sources"`
+	RatesPerYear []float64           `json:"rates_per_year"`
+	Counts       []int               `json:"counts,omitempty"`
+	Methods      []string            `json:"methods,omitempty"`
+	// Seed is the grid's base seed: per-cell streams derive from
+	// (seed, cell index), and each cell's derived seed overrides any
+	// per-query seed.
+	Seed      uint64 `json:"seed,omitempty"`
+	Trials    int    `json:"trials,omitempty"`
+	Engine    string `json:"engine,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+type sweepResponse struct {
+	Name  string              `json:"name,omitempty"`
+	Cells []soferr.CellResult `json:"cells"`
+	Count int                 `json:"count"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	for i, src := range req.Sources {
+		if err := src.Trace.Validate(); err != nil {
+			s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("source %d: %v", i, err))
+			return
+		}
+	}
+	methods, err := parseMethods(req.Methods)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	// No withDeadline here: the sweep's single deadline goes on the
+	// whole-request context below, not on each cell's query.
+	opts, err := s.options(estimateOptions{
+		Trials:  req.Trials,
+		Engine:  req.Engine,
+		Workers: req.Workers,
+	})
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Cap the cell count before enumerating anything: the axes are
+	// client-controlled and a few large axes in a small body would
+	// otherwise demand an enormous allocation.
+	countAxis := len(req.Counts)
+	if countAxis == 0 {
+		countAxis = 1
+	}
+	if n := int64(len(req.Sources)) * int64(len(req.RatesPerYear)) * int64(countAxis); n > maxSweepCells {
+		s.writeError(w, r, http.StatusBadRequest,
+			fmt.Sprintf("sweep of %d cells exceeds the per-request cap %d", n, maxSweepCells))
+		return
+	}
+	grid := soferr.Grid{
+		Name:         req.Name,
+		Sources:      s.comp.Sources(req.Sources),
+		RatesPerYear: req.RatesPerYear,
+		Counts:       req.Counts,
+		Methods:      methods,
+		Seed:         req.Seed,
+	}
+	// Enumerate once: shape errors surface here as clean 400s, and the
+	// cells feed straight into the engine; errors after this point are
+	// runtime failures and map via statusFor.
+	cells, err := grid.Cells()
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.queryContext(r, req.TimeoutMS)
+	defer cancel()
+	results, err := soferr.SweepCellsAll(ctx, grid.Sources, cells, methods, nil, opts...)
+	if err != nil {
+		s.writeError(w, r, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, sweepResponse{Name: req.Name, Cells: results, Count: len(results)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}{"ok", time.Since(s.start).Seconds()})
+}
+
+// Metrics is the /metrics document (also returned by the method for
+// tests and embedding).
+type Metrics struct {
+	Queries  map[string]int64 `json:"queries"`
+	Errors   int64            `json:"errors"`
+	Inflight int64            `json:"inflight"`
+	Cache    struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Size      int   `json:"size"`
+		Capacity  int   `json:"capacity"`
+	} `json:"compile_cache"`
+	Compiles       int64   `json:"compiles"`
+	CompileMSTotal float64 `json:"compile_ms_total"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+}
+
+// Metrics returns a snapshot of the server's counters.
+func (s *Server) Metrics() Metrics {
+	var m Metrics
+	m.Queries = make(map[string]int64, len(endpointNames))
+	for i, name := range endpointNames {
+		m.Queries[name] = s.queries[i].Load()
+	}
+	m.Errors = s.errorCount.Load()
+	m.Inflight = s.inflight.Load()
+	hits, misses, evictions, size, capacity := s.cache.stats()
+	m.Cache.Hits, m.Cache.Misses, m.Cache.Evictions = hits, misses, evictions
+	m.Cache.Size, m.Cache.Capacity = size, capacity
+	m.Compiles = s.cache.compiles.Load()
+	m.CompileMSTotal = float64(s.cache.compileNs.Load()) / 1e6
+	m.UptimeSeconds = time.Since(s.start).Seconds()
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Metrics())
+}

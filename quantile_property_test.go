@@ -1,0 +1,142 @@
+package soferr_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/soferr/soferr"
+)
+
+// quantileProbes are the probabilities the consistency property is
+// checked at: the boundaries, a deep tail, and the bulk.
+var quantileProbes = []float64{0, 1e-12, 0.25, 0.5, 1 - 1e-15}
+
+// checkQuantileReliabilityConsistency asserts the defining property of
+// the generalized inverse on a system where failures only land at
+// vulnerable instants: F(FailureQuantile(p)) == p, with
+// F(t) = 1 - Reliability(t).
+func checkQuantileReliabilityConsistency(t *testing.T, name string, sys *soferr.System) {
+	t.Helper()
+	ctx := context.Background()
+	for _, p := range quantileProbes {
+		q, err := sys.FailureQuantile(ctx, p)
+		if err != nil {
+			t.Fatalf("%s: FailureQuantile(%v): %v", name, p, err)
+		}
+		if q < 0 || math.IsNaN(q) {
+			t.Fatalf("%s: FailureQuantile(%v) = %v", name, p, q)
+		}
+		rel, err := sys.Reliability(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: Reliability(%v): %v", name, q, err)
+		}
+		got := 1 - rel
+		// The inversion is closed-form (piecewise-linear exposure), so
+		// the only error is float roundoff through exp/log1p: a few ulps
+		// relative, with an absolute floor for p = 0.
+		tol := 1e-9*p + 1e-15
+		if math.Abs(got-p) > tol {
+			t.Errorf("%s: 1-Reliability(FailureQuantile(%g)) = %g (|diff| %.3g > %.3g)",
+				name, p, got, math.Abs(got-p), tol)
+		}
+	}
+	// p = 1 is the essential supremum of a periodic failing system:
+	// always +Inf.
+	q1, err := sys.FailureQuantile(ctx, 1)
+	if err != nil {
+		t.Fatalf("%s: FailureQuantile(1): %v", name, err)
+	}
+	if !math.IsInf(q1, 1) {
+		t.Errorf("%s: FailureQuantile(1) = %v, want +Inf", name, q1)
+	}
+}
+
+// TestQuantileReliabilityConsistencyProperty promotes the manually
+// verified quantile/reliability agreement into a property test over
+// random busy/idle and multi-segment systems (0/1 intervals, fractional
+// levels, and multi-component unions sharing one period).
+func TestQuantileReliabilityConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+
+	randIntervals := func(period float64) []soferr.Interval {
+		n := 1 + rng.Intn(4)
+		var ivs []soferr.Interval
+		cursor := 0.0
+		for i := 0; i < n && cursor < period; i++ {
+			gap := rng.Float64() * (period - cursor) / 2
+			width := rng.Float64() * (period - cursor - gap) / 2
+			if width <= 0 {
+				break
+			}
+			ivs = append(ivs, soferr.Interval{Start: cursor + gap, End: cursor + gap + width})
+			cursor += gap + width
+		}
+		if len(ivs) == 0 {
+			ivs = []soferr.Interval{{Start: 0, End: period / 2}}
+		}
+		return ivs
+	}
+
+	for i := 0; i < 40; i++ {
+		period := math.Exp(rng.Float64()*12 - 2) // ~0.14s .. ~22000s
+		rate := math.Exp(rng.Float64()*20 - 5)   // errors/year over ~11 decades
+		var (
+			sys  *soferr.System
+			name string
+			err  error
+		)
+		switch i % 4 {
+		case 0: // busy/idle
+			busy := rng.Float64() * period
+			if busy == 0 {
+				busy = period / 3
+			}
+			tr, terr := soferr.BusyIdleTrace(period, busy)
+			if terr != nil {
+				t.Fatal(terr)
+			}
+			name = fmt.Sprintf("busyidle[%d]", i)
+			sys, err = soferr.NewSystem([]soferr.Component{{Name: "c", RatePerYear: rate, Trace: tr}})
+		case 1: // multi-interval 0/1 trace
+			tr, terr := soferr.PeriodicTrace(period, randIntervals(period))
+			if terr != nil {
+				t.Fatal(terr)
+			}
+			name = fmt.Sprintf("periodic[%d]", i)
+			sys, err = soferr.NewSystem([]soferr.Component{{Name: "c", RatePerYear: rate, Trace: tr}})
+		case 2: // fractional vulnerability levels
+			levels := make([]float64, 3+rng.Intn(6))
+			for j := range levels {
+				levels[j] = rng.Float64()
+			}
+			levels[0] = 0.8 // ensure some vulnerability
+			tr, terr := soferr.TraceFromLevels(levels, period/float64(len(levels)))
+			if terr != nil {
+				t.Fatal(terr)
+			}
+			name = fmt.Sprintf("levels[%d]", i)
+			sys, err = soferr.NewSystem([]soferr.Component{{Name: "c", RatePerYear: rate, Trace: tr}})
+		case 3: // multi-component union sharing one period
+			tr1, terr := soferr.PeriodicTrace(period, randIntervals(period))
+			if terr != nil {
+				t.Fatal(terr)
+			}
+			tr2, terr := soferr.BusyIdleTrace(period, period*(0.1+0.8*rng.Float64()))
+			if terr != nil {
+				t.Fatal(terr)
+			}
+			name = fmt.Sprintf("union[%d]", i)
+			sys, err = soferr.NewSystem([]soferr.Component{
+				{Name: "a", RatePerYear: rate, Trace: tr1},
+				{Name: "b", RatePerYear: rate * (0.1 + rng.Float64()), Trace: tr2},
+			})
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkQuantileReliabilityConsistency(t, name, sys)
+	}
+}

@@ -34,8 +34,8 @@ type Trace interface {
 
 // Interval is a half-open vulnerable time span [Start, End) in seconds.
 type Interval struct {
-	Start float64
-	End   float64
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
 }
 
 // Component is one failure source: a raw soft error process, in

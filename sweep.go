@@ -252,22 +252,42 @@ func toSweepSources(sources []TraceSource) []sweep.Source {
 	return out
 }
 
-// BusyIdleSources returns one TraceSource per duty cycle: a busy/idle
-// loop of the given period, vulnerable for duty x period seconds of
-// each iteration. It is the convenience constructor for a duty-cycle
-// axis (the paper's utilization dimension: the day schedule is duty
-// 0.5 over 24 hours, the week schedule duty 5/7 over a week).
-func BusyIdleSources(period float64, dutyCycles []float64) ([]TraceSource, error) {
-	out := make([]TraceSource, len(dutyCycles))
+// BusyIdleSourceSpecs returns one declarative SourceSpec per duty
+// cycle: a busy/idle loop of the given period, vulnerable for
+// duty x period seconds of each iteration, named "duty=<d>". It is the
+// single definition of the duty-cycle axis (the paper's utilization
+// dimension: the day schedule is duty 0.5 over 24 hours, the week
+// schedule duty 5/7 over a week); BusyIdleSources and the CLI both
+// build on it.
+func BusyIdleSourceSpecs(period float64, dutyCycles []float64) ([]SourceSpec, error) {
+	out := make([]SourceSpec, len(dutyCycles))
 	for i, d := range dutyCycles {
 		if d < 0 || d > 1 {
 			return nil, fmt.Errorf("soferr: duty cycle %v outside [0, 1]", d)
 		}
-		tr, err := BusyIdleTrace(period, d*period)
+		out[i] = SourceSpec{
+			Name:  fmt.Sprintf("duty=%g", d),
+			Trace: TraceSpec{Kind: TraceKindBusyIdle, PeriodSeconds: period, BusySeconds: d * period},
+		}
+	}
+	return out, nil
+}
+
+// BusyIdleSources is BusyIdleSourceSpecs with the traces materialized
+// eagerly: one TraceSource per duty cycle, ready for a Grid.
+func BusyIdleSources(period float64, dutyCycles []float64) ([]TraceSource, error) {
+	specs, err := BusyIdleSourceSpecs(period, dutyCycles)
+	if err != nil {
+		return nil, err
+	}
+	var c Compiler
+	out := make([]TraceSource, len(specs))
+	for i, sp := range specs {
+		tr, err := c.BuildTrace(sp.Trace)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = TraceSource{Name: fmt.Sprintf("duty=%g", d), Trace: tr}
+		out[i] = TraceSource{Name: sp.Name, Trace: tr}
 	}
 	return out, nil
 }

@@ -3,9 +3,11 @@ package soferr
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,9 +53,11 @@ func (m Method) String() string {
 }
 
 // MethodByName parses a method name as printed by String (plus the
-// aliases "avfsofr" and "mc").
+// aliases "avfsofr" and "mc"). Matching is case-insensitive, so the
+// CLI flags, server request decoding, and JSON round-trips all accept
+// "MC" or "MonteCarlo" as readily as "montecarlo".
 func MethodByName(name string) (Method, error) {
-	switch name {
+	switch strings.ToLower(name) {
 	case "avf+sofr", "avfsofr":
 		return AVFSOFR, nil
 	case "montecarlo", "mc":
@@ -63,6 +67,14 @@ func MethodByName(name string) (Method, error) {
 	default:
 		return 0, fmt.Errorf("soferr: unknown method %q (want avf+sofr, montecarlo, or softarch)", name)
 	}
+}
+
+// EngineByName parses a Monte-Carlo engine name as printed by
+// Engine.String, case-insensitively. It is the single name-parsing
+// point shared by the CLI -engine flags and the server's request
+// decoding.
+func EngineByName(name string) (Engine, error) {
+	return montecarlo.EngineByName(name)
 }
 
 // Methods returns all estimation methods in comparison order.
@@ -75,6 +87,12 @@ const DefaultTrials = montecarlo.DefaultTrials
 // in which no component can ever fail (every rate or AVF is zero). The
 // deterministic methods report an infinite MTTF instead.
 var ErrNoFailurePossible = montecarlo.ErrNoFailurePossible
+
+// ErrInvalidArgument tags query errors caused by out-of-domain
+// arguments (a negative time, a probability outside [0, 1]). Callers
+// serving untrusted queries can errors.Is against it to distinguish
+// caller mistakes from internal failures.
+var ErrInvalidArgument = errors.New("invalid argument")
 
 // Estimate is the unified result of one MTTF query: every method
 // returns the same shape, so estimates from different methods (or
@@ -105,9 +123,13 @@ type Estimate struct {
 	Cached bool
 }
 
-// RelStdErr returns StdErr/MTTF (zero for deterministic estimates with
-// a finite MTTF, NaN when MTTF is zero).
+// RelStdErr returns StdErr/MTTF: the relative precision of the
+// estimate. Deterministic estimates (StdErr zero) return 0 even when
+// the MTTF itself is zero or infinite.
 func (e Estimate) RelStdErr() float64 {
+	if e.StdErr == 0 {
+		return 0
+	}
 	if math.IsInf(e.MTTF, 1) {
 		return 0
 	}
@@ -116,15 +138,16 @@ func (e Estimate) RelStdErr() float64 {
 
 // MarshalJSON renders the estimate with stable string names for method
 // and engine and JSON-safe encodings for non-finite floats ("+Inf",
-// "NaN" as strings).
+// "NaN" as strings). UnmarshalJSON inverts it exactly:
+// json.Unmarshal(json.Marshal(e)) reproduces every field.
 func (e Estimate) MarshalJSON() ([]byte, error) {
 	out := map[string]interface{}{
 		"method":       e.Method.String(),
-		"mttf_seconds": jsonFloat(e.MTTF),
-		"fit":          jsonFloat(e.FIT),
+		"mttf_seconds": JSONFloat(e.MTTF),
+		"fit":          JSONFloat(e.FIT),
 	}
 	if e.Method == MonteCarlo {
-		out["stderr_seconds"] = jsonFloat(e.StdErr)
+		out["stderr_seconds"] = JSONFloat(e.StdErr)
 		out["trials"] = e.Trials
 		out["seed"] = e.Seed
 		out["engine"] = e.Engine.String()
@@ -133,11 +156,63 @@ func (e Estimate) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// jsonFloat marshals non-finite float64s as strings, which
-// encoding/json rejects as bare numbers.
-type jsonFloat float64
+// UnmarshalJSON parses the encoding produced by MarshalJSON: string
+// method/engine names (case-insensitive) and "+Inf"/"-Inf"/"NaN"
+// strings for non-finite floats. Fields absent from the document (the
+// Monte-Carlo block is omitted for deterministic estimates) are left at
+// their zero values, which is exactly what MarshalJSON elided.
+func (e *Estimate) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		// Per encoding/json convention, unmarshaling null is a no-op.
+		return nil
+	}
+	var raw struct {
+		Method string    `json:"method"`
+		MTTF   JSONFloat `json:"mttf_seconds"`
+		FIT    JSONFloat `json:"fit"`
+		StdErr JSONFloat `json:"stderr_seconds"`
+		Trials int       `json:"trials"`
+		Seed   uint64    `json:"seed"`
+		Engine string    `json:"engine"`
+		Cached bool      `json:"cached"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	method, err := MethodByName(raw.Method)
+	if err != nil {
+		return err
+	}
+	var engine Engine
+	if raw.Engine != "" {
+		engine, err = EngineByName(raw.Engine)
+		if err != nil {
+			return err
+		}
+	}
+	*e = Estimate{
+		Method: method,
+		MTTF:   float64(raw.MTTF),
+		FIT:    float64(raw.FIT),
+		StdErr: float64(raw.StdErr),
+		Trials: raw.Trials,
+		Seed:   raw.Seed,
+		Engine: engine,
+		Cached: raw.Cached,
+	}
+	return nil
+}
 
-func (f jsonFloat) MarshalJSON() ([]byte, error) {
+// JSONFloat is a float64 that survives JSON: non-finite values marshal
+// as the strings "+Inf", "-Inf", and "NaN" (encoding/json rejects them
+// as bare numbers) and unmarshal from either form. The package's JSON
+// surfaces (Estimate, the query server) use it for every field that can
+// legitimately be infinite, like the MTTF of a system that cannot fail.
+type JSONFloat float64
+
+// MarshalJSON encodes finite values as numbers and non-finite values as
+// quoted strings.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
 	v := float64(f)
 	if math.IsInf(v, 1) {
 		return []byte(`"+Inf"`), nil
@@ -149,6 +224,41 @@ func (f jsonFloat) MarshalJSON() ([]byte, error) {
 		return []byte(`"NaN"`), nil
 	}
 	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// UnmarshalJSON accepts a JSON number or one of the strings emitted by
+// MarshalJSON ("Inf" and "Infinity" spellings are accepted too).
+func (f *JSONFloat) UnmarshalJSON(data []byte) error {
+	s := string(data)
+	if len(s) > 1 && s[0] == '"' {
+		var str string
+		if err := json.Unmarshal(data, &str); err != nil {
+			return err
+		}
+		switch strings.ToLower(str) {
+		case "+inf", "inf", "+infinity", "infinity":
+			*f = JSONFloat(math.Inf(1))
+		case "-inf", "-infinity":
+			*f = JSONFloat(math.Inf(-1))
+		case "nan":
+			*f = JSONFloat(math.NaN())
+		default:
+			// Permit quoted finite numbers for symmetry with other
+			// string-encoded JSON APIs.
+			v, err := strconv.ParseFloat(str, 64)
+			if err != nil {
+				return fmt.Errorf("soferr: invalid float %q", str)
+			}
+			*f = JSONFloat(v)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = JSONFloat(v)
+	return nil
 }
 
 // SystemOption configures NewSystem.
@@ -541,7 +651,12 @@ func newEstimate(m Method, mttf, stderr float64, set estimateSettings) Estimate 
 		MTTF:   mttf,
 		StdErr: stderr,
 	}
-	if mttf > 0 && !math.IsInf(mttf, 1) {
+	switch {
+	case mttf == 0:
+		// A zero MTTF is instantaneous failure: infinite failure rate,
+		// not the FIT = 0 of a system that cannot fail.
+		est.FIT = math.Inf(1)
+	case !math.IsInf(mttf, 1):
 		est.FIT = units.PerYearToFIT(units.PerSecondToPerYear(1 / mttf))
 	}
 	if m == MonteCarlo {
@@ -562,7 +677,7 @@ func (s *System) Reliability(ctx context.Context, t float64) (float64, error) {
 		return 0, err
 	}
 	if t < 0 || math.IsNaN(t) {
-		return 0, fmt.Errorf("soferr: Reliability at invalid time %v", t)
+		return 0, fmt.Errorf("soferr: Reliability at invalid time %v: %w", t, ErrInvalidArgument)
 	}
 	s.ensureUnion()
 	if s.unionRate == 0 {
@@ -590,7 +705,7 @@ func (s *System) FailureQuantile(ctx context.Context, p float64) (float64, error
 		return 0, err
 	}
 	if p < 0 || p > 1 || math.IsNaN(p) {
-		return 0, fmt.Errorf("soferr: FailureQuantile of invalid probability %v", p)
+		return 0, fmt.Errorf("soferr: FailureQuantile of invalid probability %v: %w", p, ErrInvalidArgument)
 	}
 	if p == 1 {
 		return math.Inf(1), nil
