@@ -33,12 +33,15 @@ race:
 verify: vet build test
 
 # bench records the Monte-Carlo engine micro-benchmarks in
-# BENCH_mc.json, the sweep engine's full-grid speedup in
+# BENCH_mc.json, the fused engine's N-scaling and adaptive-precision
+# numbers in BENCH_fused.json, the sweep engine's full-grid speedup in
 # BENCH_sweep.json, and the query server's cold-vs-cache-hit request
 # latency in BENCH_serve.json, so the perf trajectory is tracked PR
-# over PR.
+# over PR. Every report is validated against the shared schema
+# (internal/benchfmt) after writing.
 bench:
-	$(GO) run ./cmd/soferr bench -out BENCH_mc.json -sweep-out BENCH_sweep.json -serve-out BENCH_serve.json
+	$(GO) run ./cmd/soferr bench -out BENCH_mc.json -fused-out BENCH_fused.json -sweep-out BENCH_sweep.json -serve-out BENCH_serve.json
+	$(GO) run ./cmd/soferr bench -validate
 
 # serve runs the MTTF query service locally (POST a Spec to /v1/mttf;
 # see README.md, "Serving").

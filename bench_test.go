@@ -100,7 +100,7 @@ func BenchmarkWorkloadGen(b *testing.B) {
 // Monte-Carlo micro-benchmarks (and recorded in BENCH_mc.json by
 // `soferr bench` / `make bench`).
 var mcEngines = []montecarlo.Engine{
-	montecarlo.Superposed, montecarlo.Naive, montecarlo.Inverted,
+	montecarlo.Superposed, montecarlo.Naive, montecarlo.Inverted, montecarlo.Fused,
 }
 
 // BenchmarkMonteCarloTrials measures Monte-Carlo trial throughput per

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/soferr/soferr"
+	"github.com/soferr/soferr/internal/montecarlo"
+	"github.com/soferr/soferr/internal/trace"
+	"github.com/soferr/soferr/internal/units"
+)
+
+// fusedScalingEntry records per-trial cost at one component count N
+// under the per-component Inverted engine and the system-level Fused
+// engine.
+type fusedScalingEntry struct {
+	Components    int     `json:"components"`
+	InvertedNsOp  float64 `json:"inverted_ns_per_trial"`
+	FusedNsOp     float64 `json:"fused_ns_per_trial"`
+	Speedup       float64 `json:"speedup_fused_vs_inverted"`
+	InvertedAlloc int64   `json:"inverted_allocs_per_trial"`
+	FusedAlloc    int64   `json:"fused_allocs_per_trial"`
+}
+
+// fusedAdaptiveReport compares a fixed-trial run against an adaptive
+// TargetRelStdErr run on the paper's SPEC-trace profile.
+type fusedAdaptiveReport struct {
+	Target          float64 `json:"target_rel_stderr"`
+	FixedTrials     int     `json:"fixed_trials"`
+	FixedNs         float64 `json:"fixed_wall_ns"`
+	FixedRelStdErr  float64 `json:"fixed_rel_stderr"`
+	AdaptiveTrials  int     `json:"adaptive_trials"`
+	AdaptiveNs      float64 `json:"adaptive_wall_ns"`
+	AdaptiveRelSE   float64 `json:"adaptive_rel_stderr"`
+	TrialsSaved     float64 `json:"trials_saved_fraction"`
+	WallTimeSpeedup float64 `json:"wall_time_speedup"`
+}
+
+// fusedBenchReport is the schema of BENCH_fused.json: trial-cost
+// scaling in the component count N (flat for Fused, linear for
+// Inverted) plus the adaptive-precision comparison.
+type fusedBenchReport struct {
+	GoVersion string              `json:"go_version"`
+	GOARCH    string              `json:"goarch"`
+	Scaling   []fusedScalingEntry `json:"scaling"`
+	SpeedupAt map[string]float64  `json:"speedup_at_n"`
+	Adaptive  fusedAdaptiveReport `json:"adaptive"`
+}
+
+// fusedBenchComponents builds N heterogeneous components sharing one
+// 24-hour period with distinct duty cycles and rates: every component
+// contributes its own segments to the merged hazard table, so the
+// fused table genuinely grows with N while trial cost stays O(log S).
+func fusedBenchComponents(n int) []montecarlo.Component {
+	comps := make([]montecarlo.Component, n)
+	for i := range comps {
+		busy := float64(1 + i%17)
+		tr, err := trace.BusyIdle(24, busy)
+		if err != nil {
+			panic(err) // static construction; cannot fail
+		}
+		comps[i] = montecarlo.Component{
+			Name:  fmt.Sprintf("c%d", i),
+			Rate:  1e-4 * float64(1+i%5),
+			Trace: tr,
+		}
+	}
+	return comps
+}
+
+// runFusedBench measures the tentpole claims and writes
+// BENCH_fused.json: per-trial ns for N in {1, 4, 16, 64, 256}
+// components under Inverted vs Fused (expect linear vs flat), plus
+// adaptive trials-to-target vs the fixed-200k default on the SPEC
+// trace.
+func runFusedBench(ctx context.Context, stdout, stderr io.Writer, outPath string, verbose bool) error {
+	logf := func(format string, args ...interface{}) {
+		if verbose {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	report := fusedBenchReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		SpeedupAt: make(map[string]float64),
+	}
+
+	for _, n := range []int{1, 4, 16, 64, 256} {
+		compiled, err := montecarlo.Compile(fusedBenchComponents(n))
+		if err != nil {
+			return err
+		}
+		entry := fusedScalingEntry{Components: n}
+		for _, engine := range []montecarlo.Engine{montecarlo.Inverted, montecarlo.Fused} {
+			engine := engine
+			logf("bench fused scaling N=%d %s", n, engine)
+			// Warm lazily built state (the fused merge) so the table
+			// build is not billed to the trials.
+			if _, err := compiled.MTTF(ctx, montecarlo.Config{Trials: 64, Seed: 1, Engine: engine, Workers: 1}); err != nil {
+				return err
+			}
+			var benchErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				if _, err := compiled.MTTF(ctx, montecarlo.Config{
+					Trials: b.N, Seed: 1, Engine: engine, Workers: 1,
+				}); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			})
+			if benchErr != nil {
+				return fmt.Errorf("bench fused scaling N=%d %s: %w", n, engine, benchErr)
+			}
+			if r.N == 0 {
+				return fmt.Errorf("bench fused scaling N=%d %s: no iterations", n, engine)
+			}
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			switch engine {
+			case montecarlo.Inverted:
+				entry.InvertedNsOp = ns
+				entry.InvertedAlloc = r.AllocsPerOp()
+			case montecarlo.Fused:
+				entry.FusedNsOp = ns
+				entry.FusedAlloc = r.AllocsPerOp()
+			}
+		}
+		entry.Speedup = entry.InvertedNsOp / entry.FusedNsOp
+		report.Scaling = append(report.Scaling, entry)
+		report.SpeedupAt[fmt.Sprintf("%d", n)] = entry.Speedup
+		fmt.Fprintf(stdout, "%-22s N=%-4d inverted %10.1f ns/trial  fused %8.1f ns/trial  %5.1fx\n",
+			"FusedScaling", n, entry.InvertedNsOp, entry.FusedNsOp, entry.Speedup)
+	}
+
+	// Adaptive precision on the paper's SPEC-trace profile: the gzip
+	// processor trace at 1e6 errors/year, as the acceptance benchmarks
+	// use. Fixed 200k trials vs TargetRelStdErr = 1%.
+	logf("simulating gzip for the adaptive profile")
+	simRes, err := soferr.SimulateBenchmark("gzip", 50000, 1)
+	if err != nil {
+		return err
+	}
+	specComp := []montecarlo.Component{{
+		Name: "int", Rate: units.PerYearToPerSecond(1e6), Trace: simRes.Int,
+	}}
+	compiled, err := montecarlo.Compile(specComp)
+	if err != nil {
+		return err
+	}
+	const target = 0.01
+	ad := fusedAdaptiveReport{Target: target, FixedTrials: soferr.DefaultTrials}
+	logf("bench adaptive fixed-%d", ad.FixedTrials)
+	var fixedRes montecarlo.Result
+	rFixed := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := compiled.MTTF(ctx, montecarlo.Config{
+				Trials: soferr.DefaultTrials, Seed: uint64(i + 1), Engine: montecarlo.Fused,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fixedRes = res
+		}
+	})
+	logf("bench adaptive target-%g", target)
+	var adRes montecarlo.Result
+	rAdaptive := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := compiled.MTTF(ctx, montecarlo.Config{
+				Trials: soferr.DefaultTrials, Seed: uint64(i + 1), Engine: montecarlo.Fused,
+				TargetRelStdErr: target,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			adRes = res
+		}
+	})
+	if rFixed.N == 0 || rAdaptive.N == 0 {
+		return fmt.Errorf("bench adaptive: benchmark produced no iterations")
+	}
+	ad.FixedNs = float64(rFixed.T.Nanoseconds()) / float64(rFixed.N)
+	ad.AdaptiveNs = float64(rAdaptive.T.Nanoseconds()) / float64(rAdaptive.N)
+	ad.FixedRelStdErr = fixedRes.RelStdErr()
+	ad.AdaptiveTrials = adRes.Trials
+	ad.AdaptiveRelSE = adRes.RelStdErr()
+	ad.TrialsSaved = 1 - float64(ad.AdaptiveTrials)/float64(ad.FixedTrials)
+	ad.WallTimeSpeedup = ad.FixedNs / ad.AdaptiveNs
+	report.Adaptive = ad
+	fmt.Fprintf(stdout, "%-22s fixed %d trials (RSE %.4f) vs adaptive %d trials to RSE<=%g: %.1fx wall time\n",
+		"FusedAdaptive", ad.FixedTrials, ad.FixedRelStdErr, ad.AdaptiveTrials, target, ad.WallTimeSpeedup)
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", outPath)
+	}
+	return nil
+}

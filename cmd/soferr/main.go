@@ -22,7 +22,7 @@
 //	-rates LIST      raw-rate axis in errors/year
 //	-counts LIST     component-count axis C (default 1)
 //	-methods LIST    estimator axis (default avf+sofr,montecarlo,softarch)
-//	-trials N -seed N -engine NAME -workers N -instructions N
+//	-trials N -seed N -engine NAME -target-rse T -workers N -instructions N
 //	-csv | -json     output format (default aligned text, streamed)
 //
 // Flags for run / workloads:
@@ -30,7 +30,8 @@
 //	-trials N        run: Monte-Carlo trials per point (default 200000)
 //	-instructions N  simulated instructions per benchmark (default 300000)
 //	-seed N          deterministic seed (default 1)
-//	-engine NAME     run: Monte-Carlo engine: inverted (default), superposed, naive
+//	-engine NAME     run: Monte-Carlo engine: fused (default), inverted, superposed, naive
+//	-target-rse T    run <spec.json>: adaptive precision target (rel stderr; -trials caps it)
 //	-methods LIST    run <spec.json>: methods to compare (default all)
 //	-quick           run: shrink grids and trial counts
 //	-csv             run: emit CSV instead of aligned text
@@ -51,8 +52,10 @@
 // Flags for bench:
 //
 //	-out FILE        Monte-Carlo JSON report path (default BENCH_mc.json)
+//	-fused-out FILE  fused-engine JSON report path (default BENCH_fused.json)
 //	-sweep-out FILE  sweep-engine JSON report path (default BENCH_sweep.json)
 //	-serve-out FILE  query-server JSON report path (default BENCH_serve.json)
+//	-validate [FILES] validate BENCH_*.json files against the shared schema
 //	-v               log progress to stderr
 package main
 
@@ -67,6 +70,7 @@ import (
 	"syscall"
 
 	"github.com/soferr/soferr"
+	"github.com/soferr/soferr/internal/benchfmt"
 	"github.com/soferr/soferr/internal/experiments"
 	"github.com/soferr/soferr/internal/turandot"
 	"github.com/soferr/soferr/internal/workload"
@@ -103,7 +107,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		trials       = fs.Int("trials", 0, "Monte-Carlo trials per point (0 = default)")
 		instructions = fs.Int("instructions", 0, "instructions per simulated benchmark (0 = default)")
 		seed         = fs.Uint64("seed", 1, "deterministic seed")
-		engineName   = fs.String("engine", "", "Monte-Carlo engine: inverted, superposed, or naive")
+		engineName   = fs.String("engine", "", "Monte-Carlo engine: fused, inverted, superposed, or naive")
+		targetRSE    = fs.Float64("target-rse", 0, "run <spec.json>: adaptive precision target (relative standard error; trials become the cap)")
 		methodsFlag  = fs.String("methods", "", "run <spec.json>: comma-separated methods to compare (default all)")
 		quick        = fs.Bool("quick", false, "shrink grids and trial counts")
 		asCSV        = fs.Bool("csv", false, "emit CSV instead of text")
@@ -148,6 +153,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				instructions: *instructions,
 				seed:         *seed,
 				engineName:   *engineName,
+				targetRSE:    *targetRSE,
 				methods:      *methodsFlag,
 				asCSV:        *asCSV,
 				asJSON:       *asJSON,
@@ -239,11 +245,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		benchOut := bfs.String("out", "BENCH_mc.json", "Monte-Carlo JSON report path (empty to skip writing)")
 		sweepOut := bfs.String("sweep-out", "BENCH_sweep.json", "sweep-engine JSON report path (empty to skip writing)")
 		serveOut := bfs.String("serve-out", "BENCH_serve.json", "query-server JSON report path (empty to skip writing)")
+		fusedOut := bfs.String("fused-out", "BENCH_fused.json", "fused-engine JSON report path (empty to skip writing)")
+		validate := bfs.Bool("validate", false, "validate the listed BENCH_*.json files against the shared schema instead of benchmarking")
 		benchVerbose := bfs.Bool("v", false, "log progress to stderr")
 		if err := bfs.Parse(rest); err != nil {
 			return err
 		}
+		if *validate {
+			return validateBenchReports(stdout, bfs.Args())
+		}
+		if len(bfs.Args()) > 0 {
+			return fmt.Errorf("bench: unexpected arguments %v (file arguments need -validate)", bfs.Args())
+		}
 		if err := runBench(ctx, stdout, stderr, *benchOut, *benchVerbose); err != nil {
+			return err
+		}
+		if err := runFusedBench(ctx, stdout, stderr, *fusedOut, *benchVerbose); err != nil {
 			return err
 		}
 		if err := runSweepBench(ctx, stdout, stderr, *sweepOut, *benchVerbose); err != nil {
@@ -259,6 +276,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		usage(stderr)
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// validateBenchReports checks BENCH_*.json files against the shared
+// internal/benchfmt schema (CI runs this after the bench smoke). With
+// no arguments it validates the default report set in the working
+// directory.
+func validateBenchReports(stdout io.Writer, paths []string) error {
+	if len(paths) == 0 {
+		paths = []string{"BENCH_mc.json", "BENCH_fused.json", "BENCH_sweep.json", "BENCH_serve.json"}
+	}
+	for _, path := range paths {
+		if err := benchfmt.ValidateFile(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: ok\n", path)
+	}
+	return nil
 }
 
 func runWorkloads(w io.Writer, instructions int, seed uint64) error {
@@ -299,20 +333,20 @@ commands:
   serve        serve MTTF queries over HTTP (POST a Spec to /v1/mttf, /v1/sweep, ...)
   workloads    simulate every benchmark; print stats and AVFs
   config       print the Table 1 machine configuration
-  bench        micro-benchmark the engines; write BENCH_mc.json + BENCH_sweep.json + BENCH_serve.json
+  bench        micro-benchmark the engines; write BENCH_mc.json + BENCH_fused.json + BENCH_sweep.json + BENCH_serve.json
 
 flags for run:
-  -trials N -instructions N -seed N -engine inverted|superposed|naive -methods LIST -quick -csv -json -v
+  -trials N -instructions N -seed N -engine fused|inverted|superposed|naive -target-rse T -methods LIST -quick -csv -json -v
 flags for sweep:
   -workloads day,week,combined -duty LIST -period S -bench LIST
   -ns LIST -rates LIST -counts LIST -methods LIST
-  -trials N -seed N -engine NAME -workers N -instructions N -csv -json -v
+  -trials N -seed N -engine NAME -target-rse T -workers N -instructions N -csv -json -v
 flags for serve:
   -addr HOST:PORT -cache N -max-concurrent N -trials N -timeout D -grace D
   -instructions N -sim-seed N -v
 flags for workloads:
   -instructions N -seed N
 flags for bench:
-  -out FILE -sweep-out FILE -serve-out FILE -v
+  -out FILE -fused-out FILE -sweep-out FILE -serve-out FILE -validate [FILES] -v
 `)
 }

@@ -294,3 +294,114 @@ func TestRunExperimentIDWinsOverFile(t *testing.T) {
 		t.Errorf("fig4 output malformed:\n%s", out)
 	}
 }
+
+// TestRunSpecFileNeverFailing: a Spec whose system can never fail
+// compares cleanly end to end — exit 0 with "+Inf" MTTFs, not an
+// error (the CLI leg of the no-failure bugfix).
+func TestRunSpecFileNeverFailing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "never.json")
+	spec := map[string]interface{}{
+		"name": "idle",
+		"components": []map[string]interface{}{{
+			"name":          "idle",
+			"rate_per_year": 5,
+			"trace":         map[string]interface{}{"kind": "busyidle", "period_seconds": 10, "busy_seconds": 0},
+		}},
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "run", path, "-trials", "100")
+	if err != nil {
+		t.Fatalf("never-failing spec errored: %v", err)
+	}
+	if !strings.Contains(out, "+Inf") {
+		t.Errorf("never-failing spec output lacks +Inf:\n%s", out)
+	}
+	for _, want := range []string{"avf+sofr", "montecarlo", "softarch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("never-failing spec output missing %q:\n%s", want, out)
+		}
+	}
+	// The JSON form round-trips the infinite MTTFs as "+Inf" strings.
+	out, _, err = runCLI(t, "run", path, "-trials", "100", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"+Inf"`) {
+		t.Errorf("JSON output lacks \"+Inf\":\n%s", out)
+	}
+}
+
+// TestRunSpecFileAdaptiveTarget covers the -target-rse flag: the
+// Monte-Carlo estimate records the target and stops below the trial
+// cap.
+func TestRunSpecFileAdaptiveTarget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "system.json")
+	data, err := json.Marshal(busyIdleSpecJSON(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "run", path, "-methods", "mc", "-engine", "fused", "-target-rse", "0.02", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Estimates []struct {
+			Method string  `json:"method"`
+			Trials int     `json:"trials"`
+			Engine string  `json:"engine"`
+			Target float64 `json:"target_rel_stderr"`
+		} `json:"estimates"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Estimates) != 1 {
+		t.Fatalf("estimates = %+v", doc.Estimates)
+	}
+	est := doc.Estimates[0]
+	if est.Engine != "fused" || est.Target != 0.02 {
+		t.Errorf("estimate = %+v, want fused engine with target 0.02", est)
+	}
+	if est.Trials <= 0 || est.Trials >= 200000 {
+		t.Errorf("adaptive trials = %d, want (0, 200000)", est.Trials)
+	}
+}
+
+// TestBenchValidate covers `soferr bench -validate`: well-formed
+// reports pass, malformed ones fail with the file named.
+func TestBenchValidate(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "BENCH_good.json")
+	if err := os.WriteFile(good, []byte(`{"go_version":"go1.24.0","goarch":"amd64","speedup":3.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "bench", "-validate", good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Errorf("validate output missing ok:\n%s", out)
+	}
+	bad := filepath.Join(dir, "BENCH_bad.json")
+	if err := os.WriteFile(bad, []byte(`{"goarch":"amd64"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCLI(t, "bench", "-validate", bad); err == nil {
+		t.Error("malformed report accepted")
+	}
+	// File arguments without -validate are rejected, not ignored.
+	if _, _, err := runCLI(t, "bench", good); err == nil {
+		t.Error("bench with stray file argument accepted")
+	}
+}

@@ -19,6 +19,7 @@ type specFileOptions struct {
 	instructions int
 	seed         uint64
 	engineName   string
+	targetRSE    float64
 	methods      string
 	asCSV        bool
 	asJSON       bool
@@ -76,11 +77,17 @@ func runSpecFile(ctx context.Context, path string, stdout, stderr io.Writer, opt
 	if opt.trials > 0 {
 		opts = append(opts, soferr.WithTrials(opt.trials))
 	}
-	// The run subcommand documents inverted as its default engine
+	// Zero means "no adaptive mode"; anything else (including a
+	// sign-typo negative) goes through so the query layer can reject
+	// out-of-domain targets instead of silently running fixed trials.
+	if opt.targetRSE != 0 {
+		opts = append(opts, soferr.WithTargetRelStdErr(opt.targetRSE))
+	}
+	// The run subcommand documents fused as its default engine
 	// (matching the experiment harness); spec files get the same.
 	engineName := opt.engineName
 	if engineName == "" {
-		engineName = "inverted"
+		engineName = "fused"
 	}
 	engine, err := soferr.EngineByName(engineName)
 	if err != nil {

@@ -33,7 +33,8 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		methods      = fs.String("methods", "", "estimator axis: comma-separated avf+sofr,montecarlo,softarch (default all)")
 		trials       = fs.Int("trials", 0, "Monte-Carlo trials per cell (0 = default)")
 		seed         = fs.Uint64("seed", 1, "base seed; per-cell streams derive from (seed, cell index)")
-		engineName   = fs.String("engine", "", "Monte-Carlo engine: inverted, superposed, or naive")
+		engineName   = fs.String("engine", "", "Monte-Carlo engine: fused, inverted, superposed, or naive")
+		targetRSE    = fs.Float64("target-rse", 0, "adaptive precision target per cell (relative standard error; -trials becomes the cap)")
 		workers      = fs.Int("workers", 0, "total sweep parallelism (0 = GOMAXPROCS)")
 		instructions = fs.Int("instructions", 0, "instructions per simulated benchmark source (0 = default)")
 		asCSV        = fs.Bool("csv", false, "emit CSV instead of text")
@@ -135,6 +136,12 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	opts := []soferr.EstimateOption{soferr.WithWorkers(*workers)}
 	if *trials > 0 {
 		opts = append(opts, soferr.WithTrials(*trials))
+	}
+	// Zero means "no adaptive mode"; anything else (including a
+	// sign-typo negative) goes through so the query layer can reject
+	// out-of-domain targets instead of silently running fixed trials.
+	if *targetRSE != 0 {
+		opts = append(opts, soferr.WithTargetRelStdErr(*targetRSE))
 	}
 	if *engineName != "" {
 		engine, err := soferr.EngineByName(*engineName)

@@ -24,7 +24,13 @@
 //     precompute what every estimator shares, then query MTTF by method
 //     (AVFSOFR, MonteCarlo, SoftArch), compare methods on identical
 //     state (Compare), and ask distribution-level questions the flat
-//     API cannot express (Reliability, FailureQuantile).
+//     API cannot express (Reliability, FailureQuantile). Monte-Carlo
+//     queries choose among four engines (WithEngine) — including Fused,
+//     which samples the whole system from one merged cumulative-hazard
+//     table in O(log S) per trial regardless of the component count —
+//     and can target a precision instead of a trial count
+//     (WithTargetRelStdErr): trials run in deterministic doubling
+//     rounds until the relative standard error meets the target.
 //   - A design-space sweep engine (Sweep, SweepStream, SweepCells): a
 //     Grid of named axes — workloads/traces, raw rates, component
 //     counts, estimator methods — evaluated concurrently with one

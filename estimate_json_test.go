@@ -20,7 +20,8 @@ func estimatesEqual(a, b soferr.Estimate) bool {
 	}
 	return a.Method == b.Method && feq(a.MTTF, b.MTTF) && feq(a.FIT, b.FIT) &&
 		feq(a.StdErr, b.StdErr) && a.Trials == b.Trials && a.Seed == b.Seed &&
-		a.Engine == b.Engine && a.Cached == b.Cached
+		a.Engine == b.Engine && feq(a.TargetRelStdErr, b.TargetRelStdErr) &&
+		a.Cached == b.Cached
 }
 
 func roundTrip(t *testing.T, est soferr.Estimate) {
@@ -103,7 +104,7 @@ func TestEstimateJSONRoundTripProperty(t *testing.T) {
 		return math.Ldexp(rng.Float64(), rng.Intn(600)-300)
 	}
 	methods := soferr.Methods()
-	engines := []soferr.Engine{soferr.Superposed, soferr.Naive, soferr.Inverted}
+	engines := []soferr.Engine{soferr.Superposed, soferr.Naive, soferr.Inverted, soferr.Fused}
 	for i := 0; i < 500; i++ {
 		m := methods[rng.Intn(len(methods))]
 		est := soferr.Estimate{
@@ -117,6 +118,9 @@ func TestEstimateJSONRoundTripProperty(t *testing.T) {
 			est.Seed = rng.Uint64()
 			est.Engine = engines[rng.Intn(len(engines))]
 			est.Cached = rng.Intn(2) == 0
+			if rng.Intn(2) == 0 {
+				est.TargetRelStdErr = 1 / (2 + rng.Float64()*100)
+			}
 		}
 		roundTrip(t, est)
 	}
@@ -217,6 +221,7 @@ func TestNameParsingCaseInsensitive(t *testing.T) {
 	engineCases := map[string]soferr.Engine{
 		"Inverted": soferr.Inverted, "INVERTED": soferr.Inverted,
 		"Superposed": soferr.Superposed, "Naive": soferr.Naive,
+		"Fused": soferr.Fused, "FUSED": soferr.EngineFused,
 	}
 	for name, want := range engineCases {
 		got, err := soferr.EngineByName(name)
@@ -227,7 +232,7 @@ func TestNameParsingCaseInsensitive(t *testing.T) {
 	if _, err := soferr.EngineByName("quantum"); err == nil {
 		t.Error("unknown engine accepted")
 	} else if !strings.Contains(err.Error(), `"quantum"`) ||
-		!strings.Contains(err.Error(), "superposed, naive, or inverted") {
+		!strings.Contains(err.Error(), "superposed, naive, inverted, or fused") {
 		t.Errorf("unknown-engine message unhelpful: %v", err)
 	}
 }

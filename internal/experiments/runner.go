@@ -34,9 +34,11 @@ type Options struct {
 	// Quick shrinks grids and trial counts for use in tests.
 	Quick bool
 	// Engine selects the Monte-Carlo trial implementation (default
-	// Inverted: every design-space trace is a materialized Piecewise,
-	// so the closed-form sampler applies and the sweep cost becomes
-	// independent of rate and AVF).
+	// Fused: every design-space trace is a materialized Piecewise, so
+	// the system-level merged-hazard sampler applies exactly and the
+	// sweep cost becomes independent of rate, AVF, and component
+	// count; traces that cannot merge fall back per component, so the
+	// default is exact for every experiment).
 	Engine montecarlo.Engine
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
@@ -47,7 +49,7 @@ func (o Options) withDefaults() Options {
 		o.Trials = 200000
 	}
 	if o.Engine == 0 {
-		o.Engine = montecarlo.Inverted
+		o.Engine = montecarlo.Fused
 	}
 	if o.Instructions <= 0 {
 		o.Instructions = benchsim.DefaultInstructions

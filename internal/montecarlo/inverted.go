@@ -1,7 +1,6 @@
 package montecarlo
 
 import (
-	"errors"
 	"math"
 
 	"github.com/soferr/soferr/internal/numeric"
@@ -92,7 +91,10 @@ func (ic *invComp) sample(r *xrand.Rand) float64 {
 
 // trialInverted samples the system failure time as the min of
 // per-component first unmasked arrivals, each drawn in closed form
-// (or by thinning for non-invertible traces).
+// (or by thinning for non-invertible traces). A trial in which no
+// component fails within the representable horizon (every per-period
+// exposure underflowed to zero) reports +Inf, the never-failing
+// answer, rather than an error.
 func trialInverted(comps []invComp, r *xrand.Rand, maxArrivals int) (float64, error) {
 	best := math.Inf(1)
 	for i := range comps {
@@ -110,9 +112,6 @@ func trialInverted(comps []invComp, r *xrand.Rand, maxArrivals int) (float64, er
 		if t := ic.sample(r); t < best {
 			best = t
 		}
-	}
-	if math.IsInf(best, 1) {
-		return 0, errors.New("montecarlo: no component failed")
 	}
 	return best, nil
 }

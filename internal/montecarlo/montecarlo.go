@@ -6,7 +6,7 @@
 // its earliest component fails. The average over trials is the MTTF, and
 // no AVF or SOFR assumption is involved.
 //
-// Three engines are provided:
+// Four engines are provided:
 //
 //   - The naive engine simulates every component separately and takes
 //     the minimum, mirroring the paper's description literally.
@@ -27,6 +27,14 @@
 //     table — O(log S) per trial, independent of the raw rate, the
 //     AVF, and the number of masked arrivals that the other engines
 //     must enumerate and reject.
+//   - The fused engine applies the same closed form to the whole
+//     system at once: the superposition of the components' thinned
+//     processes has cumulative hazard H(t) = sum_i rate_i*m_i(t), so
+//     one merged hazard table (trace.MergedExposure, aligned on the
+//     components' hyperperiod) turns a system trial into one Exp(1)
+//     draw plus one binary search — O(log S_total) per trial,
+//     independent of the component count N that the inverted engine
+//     still loops over.
 //
 // The engines are property-tested against each other and against the
 // closed forms in package analytic.
@@ -73,6 +81,14 @@ const (
 	// trial, independent of rate and AVF. Traces that do not expose an
 	// exposure table (see ExposureInverter) fall back to thinning.
 	Inverted
+	// Fused samples the whole system's failure time from the merged
+	// cumulative-hazard table (the superposition of the components'
+	// thinned processes): one Exp(1) draw plus one binary search per
+	// trial, O(log S_total), independent of the component count.
+	// Components whose traces cannot join the merge (non-materialized
+	// traces, incommensurate periods) fall back to per-component
+	// sampling inside the same trial, exactly as Inverted would.
+	Fused
 )
 
 // String returns the engine's CLI name.
@@ -84,6 +100,8 @@ func (e Engine) String() string {
 		return "naive"
 	case Inverted:
 		return "inverted"
+	case Fused:
+		return "fused"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -98,8 +116,10 @@ func EngineByName(name string) (Engine, error) {
 		return Naive, nil
 	case "inverted":
 		return Inverted, nil
+	case "fused":
+		return Fused, nil
 	default:
-		return 0, fmt.Errorf("montecarlo: unknown engine %q (want superposed, naive, or inverted)", name)
+		return 0, fmt.Errorf("montecarlo: unknown engine %q (want superposed, naive, inverted, or fused)", name)
 	}
 }
 
@@ -118,9 +138,18 @@ type Config struct {
 	Engine Engine
 	// MaxArrivalsPerTrial aborts pathological trials (vanishing AVF with
 	// a non-zero rate) in the arrival-enumerating engines. Default 100
-	// million. The Inverted engine draws no arrivals and ignores it
-	// except for thinning fallbacks.
+	// million. The Inverted and Fused engines draw no arrivals and
+	// ignore it except for thinning fallbacks.
 	MaxArrivalsPerTrial int
+	// TargetRelStdErr, when positive, switches the run to adaptive
+	// precision targeting: trials run in deterministic doubling rounds
+	// until the streamed relative standard error (StdErr/MTTF) reaches
+	// the target, the Trials cap is hit, or ctx ends. The round
+	// schedule depends only on the trial indices (per-trial streams
+	// derive from the seed), so adaptive results are bit-identical for
+	// any worker count, exactly like fixed-trial runs. Sample-collecting
+	// runs (TTFSamples) ignore it.
+	TargetRelStdErr float64
 }
 
 // DefaultTrials matches the precision regime of the paper's 1,000,000
@@ -141,8 +170,12 @@ type Result struct {
 // RelStdErr returns StdErr/MTTF (NaN for a zero-MTTF result).
 func (r Result) RelStdErr() float64 { return r.StdErr / r.MTTF }
 
-// ErrNoFailurePossible is returned when every component has AVF = 0 or
-// rate = 0, so the system can never fail.
+// ErrNoFailurePossible is returned by sample-collecting runs
+// (TTFSamples) when every component has AVF = 0 or rate = 0: a
+// never-failing system has no failure-time distribution to sample.
+// MTTF queries on such a system do not error; they report MTTF = +Inf
+// with zero standard error, consistent with the deterministic
+// estimators.
 var ErrNoFailurePossible = errors.New("montecarlo: no component can ever fail (zero rate or zero AVF)")
 
 // Compiled is a validated series system with every engine's shared
@@ -154,11 +187,18 @@ type Compiled struct {
 	components []Component
 	total      float64
 	// anyVulnerable records whether some component can ever fail; when
-	// false every MTTF query returns ErrNoFailurePossible (the system
-	// itself is still a valid object — exact estimators report +Inf).
+	// false every MTTF query reports +Inf (and TTFSamples returns
+	// ErrNoFailurePossible).
 	anyVulnerable bool
 	alias         *aliasTable // nil unless len(components) > 2
 	inv           []invComp
+
+	// fused is the Fused engine's merged-hazard precomputation, built
+	// lazily on first use: the merge walks every segment of every
+	// component over the hyperperiod, which non-Fused queries should
+	// never pay for.
+	fusedOnce sync.Once
+	fused     *fusedState
 }
 
 // Compile validates components and precomputes the per-engine shared
@@ -229,7 +269,8 @@ func SystemMTTF(ctx context.Context, components []Component, cfg Config) (Result
 
 // trialBlock is the unit of work a worker claims at a time. Blocks are
 // accumulated independently and merged in block order, so the result is
-// bit-identical for any worker count or scheduling.
+// bit-identical for any worker count or scheduling. It is also the
+// first round of an adaptive (TargetRelStdErr) run.
 const trialBlock = 4096
 
 // run executes the engine. With collect it also returns the raw
@@ -240,9 +281,17 @@ func (c *Compiled) run(ctx context.Context, cfg Config, collect bool) (Result, [
 		return Result{}, nil, err
 	}
 	if !c.anyVulnerable {
-		return Result{}, nil, ErrNoFailurePossible
+		if collect {
+			return Result{}, nil, ErrNoFailurePossible
+		}
+		// A system that can never fail has a well-defined answer, not an
+		// error: MTTF = +Inf, known exactly (consistent with the
+		// deterministic estimators and with FIT = 0).
+		return Result{MTTF: math.Inf(1)}, nil, nil
 	}
-	components := c.components
+	if cfg.TargetRelStdErr < 0 || math.IsNaN(cfg.TargetRelStdErr) {
+		return Result{}, nil, fmt.Errorf("montecarlo: invalid TargetRelStdErr %v", cfg.TargetRelStdErr)
+	}
 
 	trials := cfg.Trials
 	if trials <= 0 {
@@ -255,57 +304,13 @@ func (c *Compiled) run(ctx context.Context, cfg Config, collect bool) (Result, [
 	if workers > trials {
 		workers = trials
 	}
-	engine := cfg.Engine
-	if engine == 0 {
-		engine = Superposed
-	}
-	maxArrivals := cfg.MaxArrivalsPerTrial
-	if maxArrivals <= 0 {
-		maxArrivals = 100_000_000
+
+	trial, err := c.trialFunc(cfg)
+	if err != nil {
+		return Result{}, nil, err
 	}
 
-	// Per-engine trial function over the precompiled shared state.
-	var trial func(r *xrand.Rand) (float64, error)
-	switch engine {
-	case Naive:
-		trial = func(r *xrand.Rand) (float64, error) {
-			return trialNaive(components, r, maxArrivals)
-		}
-	case Inverted:
-		trial = func(r *xrand.Rand) (float64, error) {
-			return trialInverted(c.inv, r, maxArrivals)
-		}
-	default:
-		trial = func(r *xrand.Rand) (float64, error) {
-			return trialSuperposed(components, c.total, c.alias, r, maxArrivals)
-		}
-	}
-
-	numBlocks := (trials + trialBlock - 1) / trialBlock
-	var samples []float64
-	var accs []numeric.Welford
-	if collect {
-		samples = make([]float64, trials)
-	} else {
-		accs = make([]numeric.Welford, numBlocks)
-	}
-	var (
-		wg       sync.WaitGroup
-		next     atomic.Int64
-		canceled atomic.Bool
-		mu       sync.Mutex
-		trialErr error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if trialErr == nil {
-			trialErr = err
-		}
-		mu.Unlock()
-		// One bad trace means every sibling's remaining trials are
-		// wasted work: cancel instead of burning the trial budget.
-		canceled.Store(true)
-	}
+	br := &blockRunner{trial: trial, seed: cfg.Seed}
 	// Relay ctx cancellation onto the flag the trial loops already
 	// poll, so a context check costs one atomic load per trial instead
 	// of a channel select.
@@ -315,56 +320,33 @@ func (c *Compiled) run(ctx context.Context, cfg Config, collect bool) (Result, [
 		go func() {
 			select {
 			case <-done:
-				canceled.Store(true)
+				br.canceled.Store(true)
 			case <-stop:
 			}
 		}()
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				b := int(next.Add(1) - 1)
-				if b >= numBlocks || canceled.Load() {
-					return
-				}
-				lo := b * trialBlock
-				hi := lo + trialBlock
-				if hi > trials {
-					hi = trials
-				}
-				var acc numeric.Welford
-				for i := lo; i < hi; i++ {
-					if canceled.Load() {
-						return
-					}
-					r := trialStream(cfg.Seed, uint64(i))
-					v, err := trial(r)
-					if err != nil {
-						fail(err)
-						return
-					}
-					if collect {
-						samples[i] = v
-					} else {
-						acc.Add(v)
-					}
-				}
-				if !collect {
-					accs[b] = acc
-				}
-			}
-		}()
+
+	if cfg.TargetRelStdErr > 0 && !collect {
+		res, err := c.runAdaptive(ctx, br, cfg.TargetRelStdErr, trials, workers)
+		return res, nil, err
 	}
-	wg.Wait()
+
+	var samples []float64
+	var accs []numeric.Welford
+	numBlocks := (trials + trialBlock - 1) / trialBlock
+	if collect {
+		samples = make([]float64, trials)
+	} else {
+		accs = make([]numeric.Welford, numBlocks)
+	}
+	br.runRange(0, trials, workers, accs, samples)
 	// Context cancellation wins over trial errors: the caller asked the
 	// run to stop, and partial-trial errors after that are moot.
 	if err := ctx.Err(); err != nil {
 		return Result{}, nil, err
 	}
-	if trialErr != nil {
-		return Result{}, nil, trialErr
+	if br.trialErr != nil {
+		return Result{}, nil, br.trialErr
 	}
 
 	if collect {
@@ -375,7 +357,186 @@ func (c *Compiled) run(ctx context.Context, cfg Config, collect bool) (Result, [
 	for _, acc := range accs {
 		w.Merge(acc)
 	}
-	return Result{MTTF: w.Mean(), StdErr: w.StdErr(), Trials: trials}, nil, nil
+	return finishResult(w, trials), nil, nil
+}
+
+// trialFunc resolves the per-engine trial implementation over the
+// precompiled shared state.
+func (c *Compiled) trialFunc(cfg Config) (func(r *xrand.Rand) (float64, error), error) {
+	maxArrivals := cfg.MaxArrivalsPerTrial
+	if maxArrivals <= 0 {
+		maxArrivals = 100_000_000
+	}
+	engine := cfg.Engine
+	if engine == 0 {
+		engine = Superposed
+	}
+	components := c.components
+	switch engine {
+	case Naive:
+		return func(r *xrand.Rand) (float64, error) {
+			return trialNaive(components, r, maxArrivals)
+		}, nil
+	case Inverted:
+		return func(r *xrand.Rand) (float64, error) {
+			return trialInverted(c.inv, r, maxArrivals)
+		}, nil
+	case Fused:
+		fs := c.fusedState()
+		return func(r *xrand.Rand) (float64, error) {
+			return trialFused(fs, r, maxArrivals)
+		}, nil
+	case Superposed:
+		return func(r *xrand.Rand) (float64, error) {
+			return trialSuperposed(components, c.total, c.alias, r, maxArrivals)
+		}, nil
+	default:
+		return nil, fmt.Errorf("montecarlo: unknown engine %v", engine)
+	}
+}
+
+// finishResult folds a merged accumulator into a Result. A mean of +Inf
+// (every trial beyond the representable horizon) is an exactly known
+// answer, not a noisy one: its standard error is forced to 0 rather
+// than the NaN that Inf-valued Welford updates produce.
+func finishResult(w numeric.Welford, trials int) Result {
+	mean, se := w.Mean(), w.StdErr()
+	if math.IsInf(mean, 1) {
+		se = 0
+	}
+	return Result{MTTF: mean, StdErr: se, Trials: trials}
+}
+
+// adaptiveConverged reports whether the merged accumulator meets the
+// relative-standard-error target. Infinite means are exactly known;
+// NaN spreads (mixed finite/Inf samples) never converge early.
+func adaptiveConverged(w numeric.Welford, target float64) bool {
+	mean, se := w.Mean(), w.StdErr()
+	if math.IsInf(mean, 1) {
+		return true
+	}
+	if math.IsNaN(se) || mean == 0 {
+		return se == 0
+	}
+	return se <= target*math.Abs(mean)
+}
+
+// runAdaptive executes doubling rounds of trials until the streamed
+// relative standard error crosses target, the trial cap is reached, or
+// the run is canceled. The rounds cover the same absolute trial-index
+// space as a fixed run (per-trial streams from (seed, index), blocks
+// merged in index order), so the result at a given stop point is
+// bit-identical for any worker count; the stop decision itself depends
+// only on round-boundary statistics, which are equally deterministic.
+func (c *Compiled) runAdaptive(ctx context.Context, br *blockRunner, target float64, cap, workers int) (Result, error) {
+	var merged numeric.Welford
+	done := 0
+	round := trialBlock
+	if round > cap {
+		round = cap
+	}
+	for {
+		numBlocks := (round - done + trialBlock - 1) / trialBlock
+		accs := make([]numeric.Welford, numBlocks)
+		br.runRange(done, round, workers, accs, nil)
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		if br.trialErr != nil {
+			return Result{}, br.trialErr
+		}
+		for _, acc := range accs {
+			merged.Merge(acc)
+		}
+		done = round
+		if adaptiveConverged(merged, target) || done >= cap {
+			return finishResult(merged, done), nil
+		}
+		round *= 2
+		if round > cap {
+			round = cap
+		}
+	}
+}
+
+// blockRunner executes trial blocks across a worker pool. Workers
+// reuse one Rand value and reseed it per trial, so the steady-state
+// trial loop performs no allocations (asserted by
+// TestTrialLoopDoesNotAllocate); per-run setup (accumulator slices,
+// goroutines) stays O(workers + blocks).
+type blockRunner struct {
+	trial    func(r *xrand.Rand) (float64, error)
+	seed     uint64
+	canceled atomic.Bool
+	mu       sync.Mutex
+	trialErr error
+}
+
+func (br *blockRunner) fail(err error) {
+	br.mu.Lock()
+	if br.trialErr == nil {
+		br.trialErr = err
+	}
+	br.mu.Unlock()
+	// One bad trace means every sibling's remaining trials are wasted
+	// work: cancel instead of burning the trial budget.
+	br.canceled.Store(true)
+}
+
+// runRange executes trials [lo, hi) of the absolute trial-index space;
+// lo must be trialBlock-aligned. Summary mode (samples nil) folds each
+// block into accs[blockIndex-lo/trialBlock]; collect mode writes
+// samples[i] per trial. Blocks are claimed off an atomic counter, so
+// any worker count produces the same per-block accumulators.
+func (br *blockRunner) runRange(lo, hi, workers int, accs []numeric.Welford, samples []float64) {
+	baseBlock := lo / trialBlock
+	endBlock := (hi + trialBlock - 1) / trialBlock
+	if workers > endBlock-baseBlock {
+		workers = endBlock - baseBlock
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rng xrand.Rand
+			for {
+				b := baseBlock + int(next.Add(1)-1)
+				if b >= endBlock || br.canceled.Load() {
+					return
+				}
+				blo := b * trialBlock
+				bhi := blo + trialBlock
+				if bhi > hi {
+					bhi = hi
+				}
+				var acc numeric.Welford
+				for i := blo; i < bhi; i++ {
+					if br.canceled.Load() {
+						return
+					}
+					reseedTrialStream(&rng, br.seed, uint64(i))
+					v, err := br.trial(&rng)
+					if err != nil {
+						br.fail(err)
+						return
+					}
+					if samples != nil {
+						samples[i] = v
+					} else {
+						acc.Add(v)
+					}
+				}
+				if samples == nil {
+					accs[b-baseBlock] = acc
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // ComponentMTTF estimates the MTTF of a single component.
@@ -388,6 +549,13 @@ func ComponentMTTF(ctx context.Context, c Component, cfg Config) (Result, error)
 // worker count.
 func trialStream(seed, trial uint64) *xrand.Rand {
 	return xrand.New(seed*0x9e3779b97f4a7c15 + trial + 1)
+}
+
+// reseedTrialStream is trialStream without the allocation: it resets a
+// reused Rand to the identical per-trial stream (xrand.Reseed matches
+// xrand.New bit for bit).
+func reseedTrialStream(r *xrand.Rand, seed, trial uint64) {
+	r.Reseed(seed*0x9e3779b97f4a7c15 + trial + 1)
 }
 
 // trialSuperposed simulates the union process: arrivals at the summed
@@ -427,7 +595,9 @@ func pick(components []Component, total float64, alias *aliasTable, r *xrand.Ran
 }
 
 // trialNaive simulates each component to failure independently and
-// returns the earliest failure time.
+// returns the earliest failure time. A trial in which no component
+// fails within the representable horizon reports +Inf, the
+// never-failing answer, rather than an error.
 func trialNaive(components []Component, r *xrand.Rand, maxArrivals int) (float64, error) {
 	best := math.Inf(1)
 	for i := range components {
@@ -439,9 +609,6 @@ func trialNaive(components []Component, r *xrand.Rand, maxArrivals int) (float64
 		if failed && t < best {
 			best = t
 		}
-	}
-	if math.IsInf(best, 1) {
-		return 0, errors.New("montecarlo: no component failed")
 	}
 	return best, nil
 }

@@ -169,20 +169,37 @@ func TestFractionalVulnerability(t *testing.T) {
 	}
 }
 
-func TestErrNoFailurePossible(t *testing.T) {
+func TestNeverFailingSystemReportsInfiniteMTTF(t *testing.T) {
+	// A system in which no component can ever fail has a well-defined
+	// MTTF of +Inf with zero standard error — not an error — from every
+	// engine. Only the sample-collecting path (TTFSamples, which has no
+	// distribution to return) reports ErrNoFailurePossible.
 	never, err := trace.Never(10)
 	if err != nil {
 		t.Fatal(err)
-	}
-	if _, err := ComponentMTTF(context.Background(), Component{Rate: 1, Trace: never}, Config{Trials: 10}); err != ErrNoFailurePossible {
-		t.Errorf("err = %v, want ErrNoFailurePossible", err)
 	}
 	always, err := trace.Always(10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ComponentMTTF(context.Background(), Component{Rate: 0, Trace: always}, Config{Trials: 10}); err != ErrNoFailurePossible {
-		t.Errorf("zero rate err = %v, want ErrNoFailurePossible", err)
+	cases := []Component{
+		{Name: "zero-avf", Rate: 1, Trace: never},
+		{Name: "zero-rate", Rate: 0, Trace: always},
+	}
+	for _, comp := range cases {
+		for _, e := range []Engine{Superposed, Naive, Inverted, Fused} {
+			res, err := ComponentMTTF(context.Background(), comp, Config{Trials: 10, Engine: e})
+			if err != nil {
+				t.Errorf("%s/%v: err = %v, want nil", comp.Name, e, err)
+				continue
+			}
+			if !math.IsInf(res.MTTF, 1) || res.StdErr != 0 {
+				t.Errorf("%s/%v: result = %+v, want MTTF +Inf with StdErr 0", comp.Name, e, res)
+			}
+		}
+		if _, err := SystemTTFSamples(context.Background(), []Component{comp}, Config{Trials: 10}); err != ErrNoFailurePossible {
+			t.Errorf("%s: TTFSamples err = %v, want ErrNoFailurePossible", comp.Name, err)
+		}
 	}
 }
 

@@ -127,3 +127,78 @@ func TestQuantileSorted(t *testing.T) {
 		t.Error("empty quantile should be NaN")
 	}
 }
+
+func TestComputeTTFStatsEdgeCases(t *testing.T) {
+	// Too-short samples have no spread to summarize.
+	if _, err := ComputeTTFStats(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := ComputeTTFStats([]float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := ComputeTTFStats([]float64{2, 1}); err == nil {
+		t.Error("unsorted sample accepted")
+	}
+
+	// A duplicate-value plateau is legal sorted input: quantiles land on
+	// the plateau and the KS distance stays in [0, 1].
+	plateau := []float64{1, 2, 2, 2, 2, 2, 2, 3}
+	st, err := ComputeTTFStats(plateau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Median != 2 {
+		t.Errorf("plateau median = %v, want 2", st.Median)
+	}
+	if st.KSExponential < 0 || st.KSExponential > 1 {
+		t.Errorf("KS distance %v outside [0, 1]", st.KSExponential)
+	}
+
+	// All-equal samples: zero spread, CV 0, both quantiles on the value.
+	flat := []float64{5, 5, 5, 5}
+	st, err = ComputeTTFStats(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StdDev != 0 || st.CV != 0 || st.Median != 5 || st.P90 != 5 {
+		t.Errorf("flat sample stats = %+v", st)
+	}
+}
+
+func TestQuantileSortedEdgeCases(t *testing.T) {
+	if got := quantileSorted(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %v, want NaN", got)
+	}
+	one := []float64{7}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := quantileSorted(one, q); got != 7 {
+			t.Errorf("single-sample quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	s := []float64{1, 2, 3, 4}
+	// q <= 0 clamps to the minimum, q >= 1 to the maximum.
+	if got := quantileSorted(s, 0); got != 1 {
+		t.Errorf("quantile(0) = %v, want 1", got)
+	}
+	if got := quantileSorted(s, -0.5); got != 1 {
+		t.Errorf("quantile(-0.5) = %v, want 1", got)
+	}
+	if got := quantileSorted(s, 1); got != 4 {
+		t.Errorf("quantile(1) = %v, want 4", got)
+	}
+	if got := quantileSorted(s, 2); got != 4 {
+		t.Errorf("quantile(2) = %v, want 4", got)
+	}
+	// Interior quantiles interpolate linearly over n-1 gaps.
+	if got := quantileSorted(s, 0.5); got != 2.5 {
+		t.Errorf("quantile(0.5) = %v, want 2.5", got)
+	}
+	if got, want := quantileSorted(s, 1.0/3), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("quantile(1/3) = %v, want %v", got, want)
+	}
+	// Plateaus: interpolation between equal values stays on the value.
+	p := []float64{1, 2, 2, 2, 3}
+	if got := quantileSorted(p, 0.5); got != 2 {
+		t.Errorf("plateau quantile(0.5) = %v, want 2", got)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -56,7 +57,17 @@ const (
 	// small but the count is the product of client-supplied axes, and
 	// every cell is at least one query.
 	maxSweepCells = 65536
+	// minTargetRelStdErr clamps client-supplied adaptive precision
+	// targets: trials scale like 1/target^2, so the floor (together
+	// with the trials cap, which adaptive runs also respect) bounds the
+	// work one request can demand.
+	minTargetRelStdErr = 1e-4
 )
+
+// errTargetOutOfDomain tags a target_rel_stderr outside [0, 1): the
+// request is well-formed JSON but semantically unanswerable, so it maps
+// to 422 rather than the 400 of a malformed body.
+var errTargetOutOfDomain = errors.New("target_rel_stderr must be in [0, 1)")
 
 // Config tunes a Server. The zero value serves with sane defaults.
 type Config struct {
@@ -97,6 +108,14 @@ type Server struct {
 	queries    [5]atomic.Int64 // indexed by endpoint
 	errorCount atomic.Int64
 	inflight   atomic.Int64
+
+	// Per-endpoint request-latency summaries (count/sum/max), measured
+	// around the whole handler — decode, compile wait, query, encode —
+	// so the cache-hit vs cold-compile split BENCH_serve.json records
+	// offline is observable in production via /metrics.
+	latCount [5]atomic.Int64
+	latNs    [5]atomic.Int64
+	latMaxNs [5]atomic.Int64
 }
 
 // endpoint indexes the per-endpoint query counters.
@@ -173,17 +192,16 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 }
 
 // statusFor maps a query failure to an HTTP status: bad specs and
-// options are the client's fault, deadlines are 504, a system that
-// cannot fail is a well-formed but unanswerable Monte-Carlo query
-// (422), everything else is 500.
+// options are the client's fault, deadlines are 504, everything else
+// is 500. (A system that cannot fail is no longer an error anywhere
+// the server queries — MTTF answers 200 with "+Inf" — and
+// out-of-domain options map to 422 via optionsStatus/queryStatus.)
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, soferr.ErrNoFailurePossible):
-		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError
 	}
@@ -207,8 +225,26 @@ func (s *Server) query(ep endpoint, h func(http.ResponseWriter, *http.Request)) 
 		}
 		s.queries[ep].Add(1)
 		s.inflight.Add(1)
-		defer s.inflight.Add(-1)
+		start := time.Now()
+		defer func() {
+			s.inflight.Add(-1)
+			s.observeLatency(ep, time.Since(start))
+		}()
 		h(w, r)
+	}
+}
+
+// observeLatency folds one request's wall time into the endpoint's
+// count/sum/max summary.
+func (s *Server) observeLatency(ep endpoint, d time.Duration) {
+	ns := d.Nanoseconds()
+	s.latCount[ep].Add(1)
+	s.latNs[ep].Add(ns)
+	for {
+		cur := s.latMaxNs[ep].Load()
+		if ns <= cur || s.latMaxNs[ep].CompareAndSwap(cur, ns) {
+			return
+		}
 	}
 }
 
@@ -266,11 +302,17 @@ func compileStatus(err error) int {
 // estimateOptions are the option fields shared by /v1/mttf and
 // /v1/compare.
 type estimateOptions struct {
-	Trials    int    `json:"trials,omitempty"`
-	Seed      uint64 `json:"seed,omitempty"`
-	Engine    string `json:"engine,omitempty"`
-	Workers   int    `json:"workers,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Trials int    `json:"trials,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	// TargetRelStdErr switches Monte-Carlo queries to adaptive
+	// precision targeting: trials run until the relative standard
+	// error reaches the target (Trials, clamped as usual, is the cap).
+	// Values in (0, minTargetRelStdErr) are clamped up; values outside
+	// [0, 1) are rejected with 422.
+	TargetRelStdErr float64 `json:"target_rel_stderr,omitempty"`
+	Workers         int     `json:"workers,omitempty"`
+	TimeoutMS       int64   `json:"timeout_ms,omitempty"`
 }
 
 // options lowers the wire fields onto soferr.EstimateOptions. The
@@ -307,7 +349,27 @@ func (s *Server) options(o estimateOptions) ([]soferr.EstimateOption, error) {
 		}
 		opts = append(opts, soferr.WithEngine(engine))
 	}
+	if o.TargetRelStdErr != 0 {
+		target := o.TargetRelStdErr
+		if target < 0 || target >= 1 || math.IsNaN(target) {
+			return nil, fmt.Errorf("%w (got %v)", errTargetOutOfDomain, target)
+		}
+		if target < minTargetRelStdErr {
+			target = minTargetRelStdErr
+		}
+		opts = append(opts, soferr.WithTargetRelStdErr(target))
+	}
 	return opts, nil
+}
+
+// optionsStatus maps an options() failure: out-of-domain targets are
+// semantically unanswerable (422), everything else is a malformed
+// request (400).
+func optionsStatus(err error) int {
+	if errors.Is(err, errTargetOutOfDomain) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
 }
 
 // withDeadline appends the request deadline as a WithTimeLimit option
@@ -349,7 +411,7 @@ func (s *Server) handleMTTF(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := s.options(req.estimateOptions)
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, optionsStatus(err), err.Error())
 		return
 	}
 	opts = s.withDeadline(opts, req.TimeoutMS)
@@ -400,7 +462,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := s.options(req.estimateOptions)
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, optionsStatus(err), err.Error())
 		return
 	}
 	opts = s.withDeadline(opts, req.TimeoutMS)
@@ -551,11 +613,15 @@ type sweepRequest struct {
 	// Seed is the grid's base seed: per-cell streams derive from
 	// (seed, cell index), and each cell's derived seed overrides any
 	// per-query seed.
-	Seed      uint64 `json:"seed,omitempty"`
-	Trials    int    `json:"trials,omitempty"`
-	Engine    string `json:"engine,omitempty"`
-	Workers   int    `json:"workers,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	Trials int    `json:"trials,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	// TargetRelStdErr applies adaptive precision targeting to every
+	// cell's Monte-Carlo query (clamped and validated exactly as on the
+	// estimate endpoints).
+	TargetRelStdErr float64 `json:"target_rel_stderr,omitempty"`
+	Workers         int     `json:"workers,omitempty"`
+	TimeoutMS       int64   `json:"timeout_ms,omitempty"`
 }
 
 type sweepResponse struct {
@@ -584,12 +650,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// No withDeadline here: the sweep's single deadline goes on the
 	// whole-request context below, not on each cell's query.
 	opts, err := s.options(estimateOptions{
-		Trials:  req.Trials,
-		Engine:  req.Engine,
-		Workers: req.Workers,
+		Trials:          req.Trials,
+		Engine:          req.Engine,
+		TargetRelStdErr: req.TargetRelStdErr,
+		Workers:         req.Workers,
 	})
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, optionsStatus(err), err.Error())
 		return
 	}
 	// Cap the cell count before enumerating anything: the axes are
@@ -640,9 +707,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // Metrics is the /metrics document (also returned by the method for
 // tests and embedding).
 type Metrics struct {
-	Queries  map[string]int64 `json:"queries"`
-	Errors   int64            `json:"errors"`
-	Inflight int64            `json:"inflight"`
+	Queries map[string]int64 `json:"queries"`
+	// Latency carries per-endpoint request-latency summaries: requests
+	// completed, total and max wall milliseconds (mean = total/count).
+	Latency  map[string]LatencySummary `json:"latency"`
+	Errors   int64                     `json:"errors"`
+	Inflight int64                     `json:"inflight"`
 	Cache    struct {
 		Hits      int64 `json:"hits"`
 		Misses    int64 `json:"misses"`
@@ -655,12 +725,25 @@ type Metrics struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 }
 
+// LatencySummary is one endpoint's request-latency summary.
+type LatencySummary struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
 // Metrics returns a snapshot of the server's counters.
 func (s *Server) Metrics() Metrics {
 	var m Metrics
 	m.Queries = make(map[string]int64, len(endpointNames))
+	m.Latency = make(map[string]LatencySummary, len(endpointNames))
 	for i, name := range endpointNames {
 		m.Queries[name] = s.queries[i].Load()
+		m.Latency[name] = LatencySummary{
+			Count:   s.latCount[i].Load(),
+			TotalMS: float64(s.latNs[i].Load()) / 1e6,
+			MaxMS:   float64(s.latMaxNs[i].Load()) / 1e6,
+		}
 	}
 	m.Errors = s.errorCount.Load()
 	m.Inflight = s.inflight.Load()

@@ -342,7 +342,9 @@ func TestErrorResponses(t *testing.T) {
 	body = readAll(t, getResp)
 	check("GET", getResp, body, http.StatusMethodNotAllowed, "POST")
 
-	// Monte-Carlo on a system that can never fail is unanswerable.
+	// Monte-Carlo on a system that can never fail is a well-typed
+	// answer, not an error: 200 with MTTF "+Inf" and FIT 0 (the PR 4
+	// zero-MTTF/FIT=+Inf convention, mirrored).
 	neverSpec := soferr.Spec{Components: []soferr.ComponentSpec{{
 		RatePerYear: 5,
 		Trace:       soferr.TraceSpec{Kind: soferr.TraceKindBusyIdle, PeriodSeconds: 10, BusySeconds: 0},
@@ -350,7 +352,27 @@ func TestErrorResponses(t *testing.T) {
 	resp, body = post(t, client, srv.URL+"/v1/mttf", map[string]interface{}{
 		"spec": neverSpec, "method": "montecarlo", "trials": 100,
 	})
-	check("never fails", resp, body, http.StatusUnprocessableEntity, "no component can ever fail")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("never fails: status %d, want 200 (%s)", resp.StatusCode, body)
+	} else {
+		var never mttfResponse
+		if err := json.Unmarshal(body, &never); err != nil {
+			t.Fatalf("never fails: %v (%s)", err, body)
+		}
+		if !math.IsInf(never.Estimate.MTTF, 1) || never.Estimate.FIT != 0 {
+			t.Errorf("never fails: estimate %+v, want MTTF +Inf with FIT 0", never.Estimate)
+		}
+	}
+
+	// An out-of-domain adaptive precision target is unanswerable: 422.
+	resp, body = post(t, client, srv.URL+"/v1/mttf", map[string]interface{}{
+		"spec": testSpec(1), "target_rel_stderr": 1.5,
+	})
+	check("bad target", resp, body, http.StatusUnprocessableEntity, "target_rel_stderr")
+	resp, body = post(t, client, srv.URL+"/v1/mttf", map[string]interface{}{
+		"spec": testSpec(1), "target_rel_stderr": -0.25,
+	})
+	check("negative target", resp, body, http.StatusUnprocessableEntity, "target_rel_stderr")
 
 	// A sweep whose axes multiply past the cell cap is rejected before
 	// anything is enumerated.
@@ -451,6 +473,69 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 	if m.CompileMSTotal < 0 {
 		t.Errorf("compile_ms_total = %v", m.CompileMSTotal)
+	}
+	// Per-endpoint latency summaries: the one completed mttf request is
+	// counted with a positive total and max >= the mean; untouched
+	// endpoints stay zero.
+	lat := m.Latency["mttf"]
+	if lat.Count != 1 {
+		t.Errorf("latency.mttf.count = %d, want 1", lat.Count)
+	}
+	if lat.TotalMS <= 0 || lat.MaxMS <= 0 || lat.MaxMS < lat.TotalMS/float64(lat.Count) {
+		t.Errorf("latency.mttf summary inconsistent: %+v", lat)
+	}
+	if idle := m.Latency["sweep"]; idle.Count != 0 || idle.TotalMS != 0 || idle.MaxMS != 0 {
+		t.Errorf("latency.sweep = %+v, want zeros", idle)
+	}
+	if !strings.Contains(string(body), `"latency"`) {
+		t.Errorf("/metrics body lacks latency block: %s", body)
+	}
+}
+
+// TestServedAdaptiveTarget covers the target_rel_stderr wire option:
+// an adaptive query answers 200 with the achieved precision, the
+// trials actually run (fewer than the fixed default), and the clamped
+// target recorded on the estimate.
+func TestServedAdaptiveTarget(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	client := srv.Client()
+
+	resp, body := post(t, client, srv.URL+"/v1/mttf", map[string]interface{}{
+		"spec": testSpec(1e6), "method": "montecarlo",
+		"engine": "fused", "seed": 1, "target_rel_stderr": 0.02,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out mttfResponse
+	mustUnmarshal(t, body, &out)
+	est := out.Estimate
+	if est.TargetRelStdErr != 0.02 {
+		t.Errorf("estimate target = %v, want 0.02", est.TargetRelStdErr)
+	}
+	if est.RelStdErr() > 0.02 {
+		t.Errorf("achieved RSE %v > target", est.RelStdErr())
+	}
+	if est.Trials <= 0 || est.Trials >= soferr.DefaultTrials {
+		t.Errorf("adaptive served query used %d trials, want (0, %d)", est.Trials, soferr.DefaultTrials)
+	}
+	if est.Engine != soferr.Fused {
+		t.Errorf("engine = %v, want fused", est.Engine)
+	}
+
+	// A tighter-than-floor target is clamped, not rejected.
+	resp, body = post(t, client, srv.URL+"/v1/mttf", map[string]interface{}{
+		"spec": testSpec(1e6), "method": "montecarlo",
+		"engine": "fused", "seed": 1, "target_rel_stderr": 1e-9,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clamped target: status %d: %s", resp.StatusCode, body)
+	}
+	mustUnmarshal(t, body, &out)
+	if out.Estimate.TargetRelStdErr != minTargetRelStdErr {
+		t.Errorf("clamped target = %v, want %v", out.Estimate.TargetRelStdErr, minTargetRelStdErr)
 	}
 }
 

@@ -32,12 +32,20 @@ type Rand struct {
 // New returns a stream seeded from seed. Distinct seeds give
 // independent-looking streams; the same seed reproduces the same stream.
 func New(seed uint64) *Rand {
-	sm := seed
-	state := splitmix64(&sm)
-	inc := splitmix64(&sm) | 1
-	r := &Rand{state: state, inc: inc}
-	r.next32() // advance past the seed-correlated first output
+	r := &Rand{}
+	r.Reseed(seed)
 	return r
+}
+
+// Reseed resets r in place to the exact stream New(seed) would return.
+// It exists so hot loops that need one fresh stream per iteration (the
+// Monte-Carlo trial loop derives a stream per trial index) can reuse a
+// single Rand value instead of allocating one per iteration.
+func (r *Rand) Reseed(seed uint64) {
+	sm := seed
+	r.state = splitmix64(&sm)
+	r.inc = splitmix64(&sm) | 1
+	r.next32() // advance past the seed-correlated first output
 }
 
 // Split derives a child stream from r. The child is independent of

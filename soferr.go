@@ -180,6 +180,16 @@ const (
 	// closed form by inverting the trace's cumulative exposure:
 	// O(log S) per trial, independent of rate and AVF.
 	Inverted = montecarlo.Inverted
+	// Fused samples the whole system's failure time from one merged
+	// cumulative-hazard table (the superposition of the components'
+	// thinned processes, aligned on their hyperperiod): one Exp(1) draw
+	// plus one binary search per trial, O(log S_total), independent of
+	// the component count. Components whose traces cannot join the
+	// merge fall back to per-component sampling inside the same trial.
+	Fused = montecarlo.Fused
+	// EngineFused is an alias for Fused, matching the engine's wire
+	// name ("fused") as the server and CLI docs spell it.
+	EngineFused = montecarlo.Fused
 )
 
 // MonteCarloOptions tunes MonteCarloMTTF.

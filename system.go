@@ -83,9 +83,12 @@ func Methods() []Method { return []Method{AVFSOFR, MonteCarlo, SoftArch} }
 // DefaultTrials is the default Monte-Carlo trial count.
 const DefaultTrials = montecarlo.DefaultTrials
 
-// ErrNoFailurePossible is returned by Monte-Carlo queries on a system
-// in which no component can ever fail (every rate or AVF is zero). The
-// deterministic methods report an infinite MTTF instead.
+// ErrNoFailurePossible is returned by sample-collecting Monte-Carlo
+// runs on a system in which no component can ever fail (every rate or
+// AVF is zero): such a system has no failure-time distribution to
+// sample. MTTF queries no longer return it — every method, Monte-Carlo
+// included, reports MTTF = +Inf with FIT = 0 for a never-failing
+// system.
 var ErrNoFailurePossible = montecarlo.ErrNoFailurePossible
 
 // ErrInvalidArgument tags query errors caused by out-of-domain
@@ -116,6 +119,11 @@ type Estimate struct {
 	// Engine is the Monte-Carlo trial implementation used (zero
 	// otherwise).
 	Engine Engine
+	// TargetRelStdErr is the adaptive precision target the query asked
+	// for (WithTargetRelStdErr); zero for fixed-trial runs. When set,
+	// Trials records the trial count the adaptive run actually used and
+	// StdErr the precision it achieved.
+	TargetRelStdErr float64
 	// Cached reports whether the estimate was served from the system's
 	// query cache rather than recomputed. Cached Monte-Carlo estimates
 	// are bit-identical to recomputation: equal seeds, trials, and
@@ -152,6 +160,9 @@ func (e Estimate) MarshalJSON() ([]byte, error) {
 		out["seed"] = e.Seed
 		out["engine"] = e.Engine.String()
 		out["cached"] = e.Cached
+		if e.TargetRelStdErr != 0 {
+			out["target_rel_stderr"] = JSONFloat(e.TargetRelStdErr)
+		}
 	}
 	return json.Marshal(out)
 }
@@ -174,6 +185,7 @@ func (e *Estimate) UnmarshalJSON(data []byte) error {
 		Trials int       `json:"trials"`
 		Seed   uint64    `json:"seed"`
 		Engine string    `json:"engine"`
+		Target JSONFloat `json:"target_rel_stderr"`
 		Cached bool      `json:"cached"`
 	}
 	if err := json.Unmarshal(data, &raw); err != nil {
@@ -191,14 +203,15 @@ func (e *Estimate) UnmarshalJSON(data []byte) error {
 		}
 	}
 	*e = Estimate{
-		Method: method,
-		MTTF:   float64(raw.MTTF),
-		FIT:    float64(raw.FIT),
-		StdErr: float64(raw.StdErr),
-		Trials: raw.Trials,
-		Seed:   raw.Seed,
-		Engine: engine,
-		Cached: raw.Cached,
+		Method:          method,
+		MTTF:            float64(raw.MTTF),
+		FIT:             float64(raw.FIT),
+		StdErr:          float64(raw.StdErr),
+		Trials:          raw.Trials,
+		Seed:            raw.Seed,
+		Engine:          engine,
+		TargetRelStdErr: float64(raw.Target),
+		Cached:          raw.Cached,
 	}
 	return nil
 }
@@ -292,6 +305,7 @@ type estimateSettings struct {
 	engine    Engine
 	workers   int
 	timeLimit time.Duration
+	targetRSE float64
 }
 
 // WithTrials sets the Monte-Carlo trial count (default DefaultTrials).
@@ -322,6 +336,19 @@ func WithWorkers(n int) EstimateOption {
 // context.DeadlineExceeded.
 func WithTimeLimit(d time.Duration) EstimateOption {
 	return func(s *estimateSettings) { s.timeLimit = d }
+}
+
+// WithTargetRelStdErr switches a Monte-Carlo query to adaptive
+// precision targeting: trials run in deterministic doubling rounds
+// until the relative standard error (StdErr/MTTF) reaches target, the
+// trial cap (WithTrials, default DefaultTrials) stops it, or the
+// query's context ends. Adaptive estimates are bit-identical for any
+// worker count, record the trials actually used in Estimate.Trials,
+// and carry the target in Estimate.TargetRelStdErr. A target of zero
+// means a fixed-trial run; targets outside [0, 1) are rejected with
+// ErrInvalidArgument.
+func WithTargetRelStdErr(target float64) EstimateOption {
+	return func(s *estimateSettings) { s.targetRSE = target }
 }
 
 // exposureTrace is the capability the distribution-level queries need:
@@ -382,17 +409,18 @@ type System struct {
 const maxCachedEstimates = 4096
 
 type mcCacheKey struct {
-	trials int
-	seed   uint64
-	engine Engine
+	trials    int
+	seed      uint64
+	engine    Engine
+	targetRSE float64
 }
 
 // NewSystem compiles components into an immutable System. It validates
 // every component (non-nil trace, finite non-negative rate) and
 // precomputes everything the estimators share; afterwards every query
 // runs against read-only state. Components that can never fail (zero
-// rate or zero AVF) are legal: the deterministic methods report +Inf
-// and Monte-Carlo returns ErrNoFailurePossible if nothing can fail.
+// rate or zero AVF) are legal: if nothing can fail, every method —
+// Monte-Carlo included — reports MTTF = +Inf with FIT = 0.
 func NewSystem(components []Component, opts ...SystemOption) (*System, error) {
 	var cfg systemConfig
 	for _, opt := range opts {
@@ -615,7 +643,11 @@ func (s *System) monteCarlo(ctx context.Context, set estimateSettings) (Estimate
 	if set.engine == 0 {
 		set.engine = Superposed
 	}
-	key := mcCacheKey{trials: set.trials, seed: set.seed, engine: set.engine}
+	if set.targetRSE < 0 || set.targetRSE >= 1 || math.IsNaN(set.targetRSE) {
+		return Estimate{}, fmt.Errorf("soferr: Monte-Carlo target relative standard error %v outside [0, 1): %w",
+			set.targetRSE, ErrInvalidArgument)
+	}
+	key := mcCacheKey{trials: set.trials, seed: set.seed, engine: set.engine, targetRSE: set.targetRSE}
 	if !s.noCache {
 		if v, ok := s.mcCache.Load(key); ok {
 			est := v.(Estimate)
@@ -624,10 +656,11 @@ func (s *System) monteCarlo(ctx context.Context, set estimateSettings) (Estimate
 		}
 	}
 	res, err := s.mc.MTTF(ctx, montecarlo.Config{
-		Trials:  set.trials,
-		Seed:    set.seed,
-		Engine:  set.engine,
-		Workers: set.workers,
+		Trials:          set.trials,
+		Seed:            set.seed,
+		Engine:          set.engine,
+		Workers:         set.workers,
+		TargetRelStdErr: set.targetRSE,
 	})
 	if err != nil {
 		return Estimate{}, err
@@ -663,6 +696,7 @@ func newEstimate(m Method, mttf, stderr float64, set estimateSettings) Estimate 
 		est.Trials = set.trials
 		est.Seed = set.seed
 		est.Engine = set.engine
+		est.TargetRelStdErr = set.targetRSE
 	}
 	return est
 }

@@ -450,17 +450,28 @@ func TestNeverFailingSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []soferr.Method{soferr.AVFSOFR, soferr.SoftArch} {
-		est, err := sys.MTTF(ctx, m)
+	// Every method — Monte-Carlo included, on every engine — reports
+	// the well-typed +Inf answer for a never-failing system: no error.
+	for _, m := range []soferr.Method{soferr.AVFSOFR, soferr.SoftArch, soferr.MonteCarlo} {
+		est, err := sys.MTTF(ctx, m, soferr.WithTrials(100))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !math.IsInf(est.MTTF, 1) || est.FIT != 0 {
 			t.Errorf("%v on never-failing system: %+v", m, est)
 		}
+		if est.StdErr != 0 || est.RelStdErr() != 0 {
+			t.Errorf("%v on never-failing system has nonzero spread: %+v", m, est)
+		}
 	}
-	if _, err := sys.MTTF(ctx, soferr.MonteCarlo, soferr.WithTrials(100)); !errors.Is(err, soferr.ErrNoFailurePossible) {
-		t.Errorf("MonteCarlo returned %v, want ErrNoFailurePossible", err)
+	for _, e := range []soferr.Engine{soferr.Superposed, soferr.Naive, soferr.Inverted, soferr.Fused} {
+		est, err := sys.MTTF(ctx, soferr.MonteCarlo, soferr.WithTrials(100), soferr.WithEngine(e))
+		if err != nil {
+			t.Fatalf("engine %v: %v", e, err)
+		}
+		if !math.IsInf(est.MTTF, 1) || est.FIT != 0 || est.StdErr != 0 {
+			t.Errorf("engine %v on never-failing system: %+v", e, est)
+		}
 	}
 	if rel, _ := sys.Reliability(ctx, 1e12); rel != 1 {
 		t.Errorf("Reliability = %v, want 1", rel)
@@ -594,5 +605,181 @@ func TestSystemConcurrentQueries(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestFusedEngineThroughSystem: the fused engine is reachable through
+// the public query surface and statistically agrees with the inverted
+// engine on a multi-component system.
+func TestFusedEngineThroughSystem(t *testing.T) {
+	ctx := context.Background()
+	comps := []soferr.Component{
+		{Name: "a", RatePerYear: 3e6, Trace: mustBusyIdle(t, 6, 2)},
+		{Name: "b", RatePerYear: 1e6, Trace: mustBusyIdle(t, 9, 5)},
+		{Name: "c", RatePerYear: 5e5, Trace: mustBusyIdle(t, 18, 11)},
+	}
+	sys, err := soferr.NewSystem(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := sys.MTTF(ctx, soferr.MonteCarlo,
+		soferr.WithTrials(60000), soferr.WithSeed(1), soferr.WithEngine(soferr.Fused))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.Engine != soferr.Fused {
+		t.Errorf("estimate engine = %v, want fused", fused.Engine)
+	}
+	inv, err := sys.MTTF(ctx, soferr.MonteCarlo,
+		soferr.WithTrials(60000), soferr.WithSeed(2), soferr.WithEngine(soferr.Inverted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, bound := math.Abs(fused.MTTF-inv.MTTF), 5*(fused.StdErr+inv.StdErr); diff > bound {
+		t.Errorf("fused %v vs inverted %v (|diff| %v > %v)", fused.MTTF, inv.MTTF, diff, bound)
+	}
+	// The deterministic SoftArch answer is exact: fused must be within
+	// a few standard errors of it too.
+	sa, err := sys.MTTF(ctx, soferr.SoftArch)
+	if err == nil {
+		if diff := math.Abs(fused.MTTF - sa.MTTF); diff > 5*fused.StdErr {
+			t.Errorf("fused %v vs exact %v (|diff| %v > %v)", fused.MTTF, sa.MTTF, diff, 5*fused.StdErr)
+		}
+	}
+	// Fused JSON round-trips with its engine name.
+	data, err := json.Marshal(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"fused"`) {
+		t.Errorf("marshaled fused estimate lacks the engine name: %s", data)
+	}
+	var back soferr.Estimate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Engine != soferr.Fused {
+		t.Errorf("round-tripped engine = %v, want fused", back.Engine)
+	}
+}
+
+// TestWithTargetRelStdErr covers the adaptive query surface: the
+// target is validated, recorded on the estimate, reached with fewer
+// trials than the fixed default, cached transparently, and
+// deterministic across worker counts.
+func TestWithTargetRelStdErr(t *testing.T) {
+	ctx := context.Background()
+	sys, err := soferr.NewSystem([]soferr.Component{
+		{Name: "a", RatePerYear: 3e6, Trace: mustBusyIdle(t, 10, 4)},
+		{Name: "b", RatePerYear: 1e6, Trace: mustBusyIdle(t, 10, 7)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 0.01
+	est, err := sys.MTTF(ctx, soferr.MonteCarlo,
+		soferr.WithSeed(3), soferr.WithEngine(soferr.Fused), soferr.WithTargetRelStdErr(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TargetRelStdErr != target {
+		t.Errorf("estimate target = %v, want %v", est.TargetRelStdErr, target)
+	}
+	if est.RelStdErr() > target {
+		t.Errorf("achieved RSE %v > target %v", est.RelStdErr(), target)
+	}
+	if est.Trials >= soferr.DefaultTrials {
+		t.Errorf("adaptive run used %d trials, want fewer than the fixed default %d", est.Trials, soferr.DefaultTrials)
+	}
+	roundTrip(t, est)
+
+	// Repeating the identical adaptive query hits the cache,
+	// bit-identically; a different target is a different cache key.
+	again, err := sys.MTTF(ctx, soferr.MonteCarlo,
+		soferr.WithSeed(3), soferr.WithEngine(soferr.Fused), soferr.WithTargetRelStdErr(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("repeated adaptive query not served from cache")
+	}
+	again.Cached = false
+	if again != est {
+		t.Errorf("cached adaptive estimate differs: %+v vs %+v", again, est)
+	}
+	other, err := sys.MTTF(ctx, soferr.MonteCarlo,
+		soferr.WithSeed(3), soferr.WithEngine(soferr.Fused), soferr.WithTargetRelStdErr(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Cached {
+		t.Error("different target served the other target's cache entry")
+	}
+
+	// Worker count never changes an adaptive estimate.
+	w1, err := sys.MTTF(ctx, soferr.MonteCarlo, soferr.WithSeed(9),
+		soferr.WithEngine(soferr.Fused), soferr.WithTargetRelStdErr(0.02), soferr.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := soferr.NewSystem(sys.Components(), soferr.WithoutQueryCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w4, err := sys2.MTTF(ctx, soferr.MonteCarlo, soferr.WithSeed(9),
+		soferr.WithEngine(soferr.Fused), soferr.WithTargetRelStdErr(0.02), soferr.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.MTTF != w4.MTTF || w1.StdErr != w4.StdErr || w1.Trials != w4.Trials {
+		t.Errorf("worker count changed adaptive estimate: %+v vs %+v", w1, w4)
+	}
+
+	// Out-of-domain targets are tagged ErrInvalidArgument.
+	for _, bad := range []float64{-0.1, 1, 2, math.NaN()} {
+		if _, err := sys.MTTF(ctx, soferr.MonteCarlo, soferr.WithTargetRelStdErr(bad)); !errors.Is(err, soferr.ErrInvalidArgument) {
+			t.Errorf("target %v: err = %v, want ErrInvalidArgument", bad, err)
+		}
+	}
+}
+
+// TestAdaptiveBeatsFixedTrialsOnSPECTrace is the acceptance criterion
+// on the paper's SPEC-trace profile: an adaptive 1%-target run must
+// reach its target with (far) fewer trials than the fixed-200k
+// default, on the fused engine.
+func TestAdaptiveBeatsFixedTrialsOnSPECTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark simulation skipped in -short mode")
+	}
+	res, err := soferr.SimulateBenchmark("gzip", 50000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := soferr.NewSystem([]soferr.Component{
+		{Name: "int", RatePerYear: 1e6, Trace: res.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 0.01
+	est, err := sys.MTTF(context.Background(), soferr.MonteCarlo,
+		soferr.WithSeed(1), soferr.WithEngine(soferr.Fused), soferr.WithTargetRelStdErr(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RelStdErr() > target {
+		t.Errorf("adaptive run stopped at RSE %v > target %v", est.RelStdErr(), target)
+	}
+	if est.Trials >= soferr.DefaultTrials {
+		t.Errorf("adaptive run used %d trials, want fewer than the fixed default %d", est.Trials, soferr.DefaultTrials)
+	}
+	// And it agrees with the fixed run within the combined error bars.
+	fixed, err := sys.MTTF(context.Background(), soferr.MonteCarlo,
+		soferr.WithSeed(1), soferr.WithEngine(soferr.Fused))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, bound := math.Abs(est.MTTF-fixed.MTTF), 5*(est.StdErr+fixed.StdErr); diff > bound {
+		t.Errorf("adaptive %v vs fixed %v (|diff| %v > %v)", est.MTTF, fixed.MTTF, diff, bound)
 	}
 }
