@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check docs race verify bench bench-go serve clean
+.PHONY: all build test vet fmt-check docs race verify bench bench-go serve chaos clean
 
 all: build
 
@@ -47,6 +47,13 @@ bench:
 # see README.md, "Serving").
 serve:
 	$(GO) run ./cmd/soferr serve -addr 127.0.0.1:8080 -v
+
+# chaos mirrors the CI chaos job: the scripted fault-injection suite
+# (compile failures, worker panics, eviction storms, cancellation races,
+# stream cuts) under the race detector, non-short so nothing skips. See
+# DESIGN.md, "Failure model".
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Panic|Injected|Eviction|Readyz|RetryAfter|Resume' ./internal/faultinject/... ./internal/montecarlo/... ./internal/sweep/... ./internal/server/... ./client/...
 
 # bench-go runs the full go-test benchmark suite (experiments +
 # substrates) without writing the JSON report.

@@ -28,6 +28,8 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		trials        = fs.Int("trials", 0, "default Monte-Carlo trials for requests that set none (0 = package default)")
 		timeout       = fs.Duration("timeout", 60*time.Second, "per-request deadline cap (0 = unlimited)")
 		grace         = fs.Duration("grace", 30*time.Second, "shutdown grace period for in-flight queries")
+		drainWait     = fs.Duration("drain-wait", 0, "pause between flipping /readyz to 503 and closing the listener, so load balancers stop routing first")
+		maxSweepCells = fs.Int("max-sweep-cells", 0, "cells one sweep request may evaluate (0 = default 65536); larger grids page with cursor/limit")
 		instructions  = fs.Int("instructions", 0, "instructions per simulated benchmark trace (0 = default)")
 		simSeed       = fs.Uint64("sim-seed", 1, "benchmark simulation seed")
 		verbose       = fs.Bool("v", false, "log failed requests to stderr")
@@ -42,6 +44,7 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		MaxConcurrent: *maxConcurrent,
 		DefaultTrials: *trials,
 		MaxTimeout:    *timeout,
+		MaxSweepCells: *maxSweepCells,
 		Compiler:      comp,
 	}
 	if *timeout == 0 {
@@ -60,8 +63,9 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 
 	// Read/idle timeouts bound slow clients: a trickled request body
 	// cannot hold a handler (and its concurrency slot) open forever.
+	srv := server.New(cfg)
 	httpSrv := &http.Server{
-		Handler:           server.New(cfg),
+		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -74,7 +78,18 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		return err // the listener failed outright
 	case <-ctx.Done():
 	}
-	// Graceful shutdown: stop accepting, drain in-flight queries.
+	// Graceful shutdown, in readiness order: flip /readyz to 503 first
+	// so load balancers stop routing here, optionally wait for that to
+	// propagate, then stop accepting and drain in-flight queries.
+	srv.BeginDrain()
+	if *drainWait > 0 {
+		fmt.Fprintf(stdout, "soferr: draining (readiness down, waiting %v)\n", *drainWait)
+		select {
+		case <-time.After(*drainWait):
+		case err := <-serveErr:
+			return err
+		}
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {

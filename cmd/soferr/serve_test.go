@@ -405,3 +405,54 @@ func TestBenchValidate(t *testing.T) {
 		t.Error("bench with stray file argument accepted")
 	}
 }
+
+// TestSweepServerMode covers `soferr sweep -server`: the client-mode
+// sweep must render bit-identical output to the in-process path, and
+// -cursor must resume from an absolute cell index without changing the
+// tail.
+func TestSweepServerMode(t *testing.T) {
+	url, stop := startServe(t)
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("serve returned %v", err)
+		}
+	}()
+
+	gridArgs := []string{
+		"sweep", "-duty", "0.5", "-rates", "10,1e4", "-counts", "1,2",
+		"-methods", "avf+sofr,mc", "-trials", "2000", "-seed", "7", "-csv",
+	}
+	local, _, err := runCLI(t, gridArgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _, err := runCLI(t, append(gridArgs, "-server", url)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != local {
+		t.Errorf("-server output differs from local:\n--- local ---\n%s--- served ---\n%s", local, served)
+	}
+
+	// -cursor K resumes at absolute cell K: header plus the tail of the
+	// full run (4 cells x 2 method rows; cursor 2 keeps the last 2 cells).
+	resumed, _, err := runCLI(t, append(gridArgs, "-server", url, "-cursor", "2")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(local, "\n"), "\n")
+	want := strings.Join(append(lines[:1:1], lines[5:]...), "\n") + "\n"
+	if resumed != want {
+		t.Errorf("-cursor 2 output:\n%s\nwant header + last 2 cells:\n%s", resumed, want)
+	}
+
+	// -cursor without -server is rejected, not silently ignored.
+	if _, _, err := runCLI(t, "sweep", "-duty", "0.5", "-rates", "10", "-cursor", "1"); err == nil {
+		t.Error("-cursor without -server accepted")
+	}
+
+	// A dead server surfaces a transport error, not a hang or success.
+	if _, _, err := runCLI(t, "sweep", "-duty", "0.5", "-rates", "10", "-server", "http://127.0.0.1:1"); err == nil {
+		t.Error("unreachable -server accepted")
+	}
+}

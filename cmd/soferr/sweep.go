@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"github.com/soferr/soferr"
+	"github.com/soferr/soferr/client"
 	"github.com/soferr/soferr/internal/design"
 )
 
@@ -40,6 +41,8 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		asCSV        = fs.Bool("csv", false, "emit CSV instead of text")
 		asJSON       = fs.Bool("json", false, "emit JSON instead of text")
 		verbose      = fs.Bool("v", false, "log progress to stderr")
+		serverURL    = fs.String("server", "", "evaluate on a running `soferr serve` instance (base URL) instead of in-process")
+		cursor       = fs.Int64("cursor", 0, "with -server: resume the sweep from this absolute cell index")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,35 +154,14 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		opts = append(opts, soferr.WithEngine(engine))
 	}
 
-	grid := soferr.Grid{
-		Name:         "sweep",
-		Sources:      sources,
-		RatesPerYear: ratesPerYear,
-		Counts:       countAxis,
-		Methods:      methodAxis,
-		Seed:         *seed,
-	}
-	cells, err := grid.Cells()
-	if err != nil {
-		return err
-	}
-	if *verbose {
-		fmt.Fprintf(stderr, "sweep: %d sources x %d rates x %d counts = %d cells, %d methods each\n",
-			len(sources), len(ratesPerYear), len(countAxis), len(cells), len(methodAxis))
-	}
-
-	// Cancel on any early return (cell error, write error) so the
-	// worker pool and reorder goroutine wind down instead of leaking —
-	// SweepStream's channel must be drained or its context cancelled.
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	ch, err := soferr.SweepStream(ctx, grid, opts...)
-	if err != nil {
-		return err
+	if *cursor != 0 && *serverURL == "" {
+		return fmt.Errorf("sweep: -cursor requires -server (local sweeps always run whole)")
 	}
 
 	// JSON collects (one valid document); text and CSV stream rows as
-	// cells complete, which the engine already delivers in cell order.
+	// cells complete, which both the engine and the server's NDJSON
+	// stream deliver in cell order. render handles one cell for all
+	// three formats, shared by the local and -server paths.
 	var jsonResults []soferr.CellResult
 	var cw *csv.Writer
 	switch {
@@ -196,12 +178,7 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		fmt.Fprintf(stdout, "%-14s %12s %8s  %-10s %14s %12s %10s\n",
 			"source", "rate/yr", "C", "method", "MTTF (s)", "FIT", "rel err")
 	}
-	done := 0
-	for res := range ch {
-		if res.Err != nil {
-			return res.Err
-		}
-		done++
+	render := func(res soferr.CellResult) error {
 		switch {
 		case *asJSON:
 			jsonResults = append(jsonResults, res)
@@ -232,6 +209,90 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 					e.Method.String(), e.MTTF, e.FIT, 100*e.RelStdErr())
 			}
 		}
+		return nil
+	}
+	finish := func() error {
+		if *asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(struct {
+				Name  string              `json:"name"`
+				Cells []soferr.CellResult `json:"cells"`
+			}{"sweep", jsonResults})
+		}
+		return nil
+	}
+
+	if *serverURL != "" {
+		// Client mode: stream the same grid from a running server over
+		// NDJSON. The server derives per-cell seeds from absolute grid
+		// indices, so the answers are bit-identical to the local path,
+		// and a cut stream resumes automatically (or manually via
+		// -cursor) without changing them.
+		if *instructions != 0 {
+			fmt.Fprintln(stderr, "sweep: -instructions is ignored with -server (the server bounds simulation itself)")
+		}
+		req := client.SweepRequest{
+			Name:            "sweep",
+			Sources:         srcSpecs,
+			RatesPerYear:    ratesPerYear,
+			Counts:          countAxis,
+			Methods:         splitList(*methods),
+			Seed:            *seed,
+			Trials:          *trials,
+			Engine:          *engineName,
+			TargetRelStdErr: *targetRSE,
+			Workers:         *workers,
+			Cursor:          *cursor,
+		}
+		c := client.New(client.Config{BaseURL: *serverURL})
+		err := c.SweepStream(ctx, req, func(sc client.SweepCell) error {
+			if sc.Err != "" {
+				return fmt.Errorf("sweep: cell %d (%s): %s", sc.Cell.Index, sc.Cell.SourceName, sc.Err)
+			}
+			return render(soferr.CellResult{Cell: sc.Cell, Estimates: sc.Estimates})
+		})
+		if err != nil {
+			return err
+		}
+		return finish()
+	}
+
+	grid := soferr.Grid{
+		Name:         "sweep",
+		Sources:      sources,
+		RatesPerYear: ratesPerYear,
+		Counts:       countAxis,
+		Methods:      methodAxis,
+		Seed:         *seed,
+	}
+	cells, err := grid.Cells()
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		fmt.Fprintf(stderr, "sweep: %d sources x %d rates x %d counts = %d cells, %d methods each\n",
+			len(sources), len(ratesPerYear), len(countAxis), len(cells), len(methodAxis))
+	}
+
+	// Cancel on any early return (cell error, write error) so the
+	// worker pool and reorder goroutine wind down instead of leaking —
+	// SweepStream's channel must be drained or its context cancelled.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch, err := soferr.SweepStream(ctx, grid, opts...)
+	if err != nil {
+		return err
+	}
+	done := 0
+	for res := range ch {
+		if res.Err != nil {
+			return res.Err
+		}
+		done++
+		if err := render(res); err != nil {
+			return err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return err
@@ -239,15 +300,7 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if done != len(cells) {
 		return fmt.Errorf("sweep: delivered %d of %d cells", done, len(cells))
 	}
-	if *asJSON {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(struct {
-			Name  string              `json:"name"`
-			Cells []soferr.CellResult `json:"cells"`
-		}{grid.Name, jsonResults})
-	}
-	return nil
+	return finish()
 }
 
 func splitList(s string) []string {

@@ -92,7 +92,16 @@
 // paper's Section 5 experiment tables (`soferr run fig5 ...`), and the
 // whole query surface is servable over HTTP (`soferr serve`): clients
 // POST a Spec and estimate options, and equal Specs share one compiled
-// System server-side. See README.md, "Serving".
+// System server-side. The serving tier is chaos-hardened — panics in
+// estimation code are contained to typed errors on the one request
+// that hit them, overload 503s carry Retry-After, readiness
+// (/readyz) flips before shutdown drains, and /v1/sweep pages and
+// streams with a resumable cursor whose every window is bit-identical
+// to the single-shot sweep. The client subpackage
+// (github.com/soferr/soferr/client) wraps it all with retry, backoff,
+// automatic grid splitting, and stream resume; `soferr sweep -server`
+// drives a remote sweep through it. See README.md, "Serving", and
+// DESIGN.md, "Failure model".
 //
 // See README.md for an overview, examples/ for runnable programs, and
 // DESIGN.md / EXPERIMENTS.md for the mapping from the paper's tables

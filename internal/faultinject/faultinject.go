@@ -1,0 +1,245 @@
+// Package faultinject is a deterministic, scripted fault-injection
+// registry for chaos-testing the serving stack the same way the paper
+// tests hardware: inject a fault at a named point, then assert the
+// system degrades the way its failure model promises (see DESIGN.md,
+// "Failure model").
+//
+// Production code threads named injection points through its failure-
+// prone seams — compile goroutines, trial workers, request handlers —
+// by calling Fire(point). When the registry is disarmed (the default,
+// and the only state production ever runs in) Fire is a single atomic
+// load returning nil: zero allocations, no locks, no behavior change.
+// A chaos test arms a Schedule of Rules; each rule names a point and
+// scripts when it fires (explicit 1-based hit indices, or a seeded
+// per-hit probability) and what it does (sleep, return an error,
+// panic), so the same schedule replays the same faults run after run.
+//
+// Determinism contract: a rule with explicit Hits fires at exactly
+// those hit indices of its point, in whatever order concurrent callers
+// reach them; a probabilistic rule consults the k-th draw of a stream
+// seeded by (Schedule.Seed, rule index) at its k-th hit, so the set of
+// firing hit indices is a deterministic function of the schedule. When
+// a fault does not fire, Fire returns nil and the caller's seeded
+// computation proceeds bit-identically to an unarmed run.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/soferr/soferr/internal/xrand"
+)
+
+// ErrInjected is the default error an armed Rule returns from Fire
+// when it fires without a more specific Err. Callers that inject
+// non-error effects (forcing a cache eviction, say) test Fire's result
+// against it via errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Rule scripts the faults at one injection point. The zero effect
+// fields mean "just count the hit"; effects apply in order Delay,
+// PanicMsg, Err.
+type Rule struct {
+	// Point names the injection point the rule arms.
+	Point string
+	// Hits lists the 1-based hit indices at which the rule fires.
+	// Empty means every hit (still subject to P and Count).
+	Hits []int
+	// P, when in (0, 1), fires each hit with this probability, drawn
+	// from a stream seeded by (Schedule.Seed, rule index). Zero means
+	// non-probabilistic.
+	P float64
+	// Count caps the total number of fires (0 = unlimited).
+	Count int
+	// Delay is slept before the other effects when the rule fires
+	// (slow-compile, slow-handler faults). A rule with ONLY Delay set is
+	// latency-only: Fire sleeps and returns nil, so the caller proceeds
+	// (slowly). Combine Delay with Err or PanicMsg for slow-then-fail.
+	Delay time.Duration
+	// PanicMsg, when non-empty, makes Fire panic with
+	// "faultinject: <point>: <msg>" after the delay.
+	PanicMsg string
+	// Err is returned by Fire after the delay (defaults to ErrInjected
+	// when the rule fires with no panic and no explicit error).
+	Err error
+}
+
+// Schedule is an armed set of rules plus the seed for probabilistic
+// firing decisions.
+type Schedule struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// PointStats counts one point's activity since arming.
+type PointStats struct {
+	// Hits is the number of times Fire reached the point.
+	Hits int64
+	// Fired is the number of those hits at which a rule fired.
+	Fired int64
+}
+
+// armedRule is one rule's mutable firing state. The mutex keeps the
+// hit counter and the probabilistic stream in lockstep so the k-th hit
+// always consumes the k-th draw.
+type armedRule struct {
+	rule  Rule
+	mu    sync.Mutex
+	hits  int64
+	fired int64
+	rng   *xrand.Rand
+}
+
+// registry is the armed state; nil (the atomic pointer's zero) means
+// disarmed.
+type registry struct {
+	rules map[string][]*armedRule
+
+	// statsMu guards stats for points without rules; per-rule counters
+	// live on the rules themselves.
+	statsMu sync.Mutex
+	stats   map[string]*PointStats
+}
+
+var armed atomic.Pointer[registry]
+
+// Arm installs the schedule and returns a disarm function. Arming
+// replaces any previously armed schedule; tests should defer the
+// returned disarm. Counters start at zero.
+func Arm(s Schedule) (disarm func()) {
+	reg := &registry{
+		rules: make(map[string][]*armedRule),
+		stats: make(map[string]*PointStats),
+	}
+	for i, r := range s.Rules {
+		ar := &armedRule{rule: r}
+		if r.P > 0 && r.P < 1 {
+			ar.rng = xrand.New(s.Seed*0x9e3779b97f4a7c15 + uint64(i) + 1)
+		}
+		reg.rules[r.Point] = append(reg.rules[r.Point], ar)
+	}
+	armed.Store(reg)
+	return Disarm
+}
+
+// Disarm removes the armed schedule; Fire returns to its zero-overhead
+// disabled path.
+func Disarm() { armed.Store(nil) }
+
+// Armed reports whether a schedule is currently armed.
+func Armed() bool { return armed.Load() != nil }
+
+// Fire records a hit at point and applies the first armed rule that
+// fires there: it sleeps the rule's Delay, panics if PanicMsg is set,
+// and returns the rule's Err (ErrInjected when the rule has no effects
+// at all; nil for a latency-only rule, whose fault is the wait). With
+// no armed schedule — production — it is a single atomic load
+// returning nil.
+func Fire(point string) error {
+	reg := armed.Load()
+	if reg == nil {
+		return nil
+	}
+	return reg.fire(point)
+}
+
+func (reg *registry) fire(point string) error {
+	rules := reg.rules[point]
+	if len(rules) == 0 {
+		reg.statsMu.Lock()
+		st := reg.stats[point]
+		if st == nil {
+			st = &PointStats{}
+			reg.stats[point] = st
+		}
+		st.Hits++
+		reg.statsMu.Unlock()
+		return nil
+	}
+	for _, ar := range rules {
+		fired := ar.hit()
+		if !fired {
+			continue
+		}
+		r := ar.rule
+		if r.Delay > 0 {
+			time.Sleep(r.Delay)
+		}
+		if r.PanicMsg != "" {
+			panic(fmt.Sprintf("faultinject: %s: %s", point, r.PanicMsg))
+		}
+		if r.Err != nil {
+			return fmt.Errorf("faultinject: %s: %w", point, r.Err)
+		}
+		if r.Delay > 0 {
+			// Latency-only rule: the fault is the wait itself.
+			return nil
+		}
+		return fmt.Errorf("%s: %w", point, ErrInjected)
+	}
+	return nil
+}
+
+// hit advances the rule's hit counter and decides whether this hit
+// fires, consuming exactly one probabilistic draw per hit so the
+// firing set depends only on the schedule.
+func (ar *armedRule) hit() bool {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	ar.hits++
+	if ar.rule.Count > 0 && ar.fired >= int64(ar.rule.Count) {
+		return false
+	}
+	fire := true
+	if ar.rng != nil {
+		fire = ar.rng.Float64() < ar.rule.P
+	}
+	if fire && len(ar.rule.Hits) > 0 {
+		fire = false
+		for _, h := range ar.rule.Hits {
+			if int64(h) == ar.hits {
+				fire = true
+				break
+			}
+		}
+	}
+	if fire {
+		ar.fired++
+	}
+	return fire
+}
+
+// Snapshot returns per-point hit and fired counts since arming (nil
+// when disarmed). Points with several rules sum their counters; Hits
+// counts each Fire call once per matching rule set, so for the common
+// one-rule-per-point schedules it is simply the call count.
+func Snapshot() map[string]PointStats {
+	reg := armed.Load()
+	if reg == nil {
+		return nil
+	}
+	out := make(map[string]PointStats)
+	for point, rules := range reg.rules {
+		var st PointStats
+		for _, ar := range rules {
+			ar.mu.Lock()
+			st.Fired += ar.fired
+			ar.mu.Unlock()
+		}
+		// Hits at a multi-rule point would double-count per rule; report
+		// the first rule's view of the call count.
+		rules[0].mu.Lock()
+		st.Hits = rules[0].hits
+		rules[0].mu.Unlock()
+		out[point] = st
+	}
+	reg.statsMu.Lock()
+	for point, st := range reg.stats {
+		out[point] = *st
+	}
+	reg.statsMu.Unlock()
+	return out
+}

@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFireIsNil(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed() true with no schedule")
+	}
+	if err := Fire("anything"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+	if Snapshot() != nil {
+		t.Error("disarmed Snapshot not nil")
+	}
+}
+
+func TestExplicitHitsFireDeterministically(t *testing.T) {
+	defer Arm(Schedule{Rules: []Rule{{Point: "p", Hits: []int{2, 4}}}})()
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		if err := Fire("p"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error %v does not wrap ErrInjected", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Errorf("fired at %v, want [2 4]", fired)
+	}
+	st := Snapshot()["p"]
+	if st.Hits != 5 || st.Fired != 2 {
+		t.Errorf("stats = %+v, want 5 hits, 2 fired", st)
+	}
+}
+
+func TestExplicitErrorAndCountCap(t *testing.T) {
+	sentinel := errors.New("boom")
+	defer Arm(Schedule{Rules: []Rule{{Point: "p", Count: 2, Err: sentinel}}})()
+	var n int
+	for i := 0; i < 10; i++ {
+		if err := Fire("p"); err != nil {
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("error %v does not wrap sentinel", err)
+			}
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("fired %d times, want the Count cap of 2", n)
+	}
+}
+
+func TestProbabilisticFiringIsSeeded(t *testing.T) {
+	run := func(seed uint64) []int {
+		defer Arm(Schedule{Seed: seed, Rules: []Rule{{Point: "p", P: 0.5}}})()
+		var fired []int
+		for i := 1; i <= 64; i++ {
+			if Fire("p") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("P=0.5 fired %d/64 times; schedule degenerate", len(a))
+	}
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			t.Fatalf("same seed, different firing sets: %v vs %v", a, b)
+		}
+	}
+	if c := run(8); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical firing sets")
+		}
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Arm(Schedule{Rules: []Rule{{Point: "p", PanicMsg: "die"}}})()
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("no panic")
+		}
+		if s, ok := rec.(string); !ok || !strings.Contains(s, "die") || !strings.Contains(s, "p") {
+			t.Errorf("panic value %v lacks point and message", rec)
+		}
+	}()
+	Fire("p")
+}
+
+func TestDelayAction(t *testing.T) {
+	defer Arm(Schedule{Rules: []Rule{{Point: "p", Delay: 30 * time.Millisecond}}})()
+	start := time.Now()
+	Fire("p")
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("delay rule slept %v, want >= 30ms", d)
+	}
+}
+
+func TestUnruledPointCountsHits(t *testing.T) {
+	defer Arm(Schedule{Rules: []Rule{{Point: "other"}}})()
+	for i := 0; i < 3; i++ {
+		if err := Fire("plain"); err != nil {
+			t.Fatalf("unruled point fired: %v", err)
+		}
+	}
+	if st := Snapshot()["plain"]; st.Hits != 3 || st.Fired != 0 {
+		t.Errorf("unruled stats = %+v, want 3 hits, 0 fired", st)
+	}
+}
+
+// TestConcurrentFire exercises the registry under the race detector:
+// concurrent hits at one probabilistic point must stay consistent
+// (hits == calls, fired <= hits).
+func TestConcurrentFire(t *testing.T) {
+	defer Arm(Schedule{Seed: 1, Rules: []Rule{{Point: "p", P: 0.3}}})()
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Fire("p")
+			}
+		}()
+	}
+	wg.Wait()
+	st := Snapshot()["p"]
+	if st.Hits != workers*per {
+		t.Errorf("hits = %d, want %d", st.Hits, workers*per)
+	}
+	if st.Fired <= 0 || st.Fired > st.Hits {
+		t.Errorf("fired = %d out of range (0, %d]", st.Fired, st.Hits)
+	}
+}
+
+func TestDisarmRestoresCleanState(t *testing.T) {
+	disarm := Arm(Schedule{Rules: []Rule{{Point: "p"}}})
+	if Fire("p") == nil {
+		t.Fatal("armed every-hit rule did not fire")
+	}
+	disarm()
+	if err := Fire("p"); err != nil {
+		t.Fatalf("Fire after disarm: %v", err)
+	}
+	if Armed() {
+		t.Error("Armed() true after disarm")
+	}
+}

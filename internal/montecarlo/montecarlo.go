@@ -46,10 +46,12 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"github.com/soferr/soferr/internal/faultinject"
 	"github.com/soferr/soferr/internal/numeric"
 	"github.com/soferr/soferr/internal/trace"
 	"github.com/soferr/soferr/internal/xrand"
@@ -177,6 +179,20 @@ func (r Result) RelStdErr() float64 { return r.StdErr / r.MTTF }
 // with zero standard error, consistent with the deterministic
 // estimators.
 var ErrNoFailurePossible = errors.New("montecarlo: no component can ever fail (zero rate or zero AVF)")
+
+// ErrTrialPanic tags a run whose trial worker panicked — a panicking
+// trace implementation, a corrupted table, or an injected chaos fault.
+// The panic is contained in the worker goroutine and surfaced as a
+// normal error on the estimate path (wrapping ErrTrialPanic, with the
+// panic value and stack in the message) instead of killing the
+// process; sibling workers are cancelled as for any trial error.
+var ErrTrialPanic = errors.New("montecarlo: trial worker panicked")
+
+// fiTrialPoint is the chaos-test injection point hit once per claimed
+// trial block inside each worker goroutine (see internal/faultinject).
+// Disarmed — always, in production — it costs one atomic load per
+// trialBlock trials.
+const fiTrialPoint = "montecarlo.trial"
 
 // Compiled is a validated series system with every engine's shared
 // precomputation done once — rate totals, the alias table for
@@ -502,10 +518,23 @@ func (br *blockRunner) runRange(lo, hi, workers int, accs []numeric.Welford, sam
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Contain panics to the worker: a panicking trace (or an
+			// injected chaos fault) becomes a typed trial error and
+			// cancels the siblings; the process — and the caller's
+			// estimate path — survives.
+			defer func() {
+				if rec := recover(); rec != nil {
+					br.fail(fmt.Errorf("%w: %v\n%s", ErrTrialPanic, rec, debug.Stack()))
+				}
+			}()
 			var rng xrand.Rand
 			for {
 				b := baseBlock + int(next.Add(1)-1)
 				if b >= endBlock || br.canceled.Load() {
+					return
+				}
+				if err := faultinject.Fire(fiTrialPoint); err != nil {
+					br.fail(err)
 					return
 				}
 				blo := b * trialBlock

@@ -4,11 +4,14 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/soferr/soferr"
+	"github.com/soferr/soferr/internal/faultinject"
 )
 
 // systemCache is a bounded LRU of compiled Systems keyed by Spec hash,
@@ -53,6 +56,25 @@ const compileQueueFactor = 8
 // errCompileBacklog is returned (and mapped to 503) when the compile
 // queue is full: the request was well-formed, the server is overloaded.
 var errCompileBacklog = errors.New("server busy: compile backlog full, retry later")
+
+// errCompilePanic tags a compile goroutine that panicked: the panic is
+// contained to the entry (every waiter sees this error, the entry is
+// dropped so the hash can retry) instead of killing the process.
+var errCompilePanic = errors.New("server: compile panicked")
+
+// Chaos injection points in the compile path (no-ops unless a
+// faultinject schedule is armed — see internal/faultinject).
+const (
+	// fiCompilePoint fires inside the detached compile goroutine just
+	// before the real compile: Delay scripts a slow compile, Err scripts
+	// a failing one, PanicMsg a crashing one.
+	fiCompilePoint = "server.compile"
+	// fiEvictPoint fires after a successful compile; when its rule
+	// fires, the entry is force-dropped from the LRU mid-single-flight —
+	// the eviction-races-compile scenario — while waiters still get the
+	// finished System.
+	fiEvictPoint = "server.cache.evict"
+)
 
 // cacheEntry is one compiled (or compiling) system. The once gate makes
 // compilation single-flight: the entry is published in the map before
@@ -128,17 +150,34 @@ func (e *cacheEntry) compile(ctx context.Context, c *systemCache, comp *soferr.C
 		}
 		go func() {
 			defer c.pending.Add(-1)
+			// Waiters must always be released and panics must never
+			// escape a detached goroutine (that would kill the process),
+			// so the close runs last and a panic anywhere in the compile
+			// becomes the entry's error.
+			defer func() {
+				if rec := recover(); rec != nil {
+					e.sys = nil
+					e.err = fmt.Errorf("%w: %v\n%s", errCompilePanic, rec, debug.Stack())
+					c.drop(e)
+				}
+				close(e.done)
+			}()
 			c.compileSem <- struct{}{}
 			defer func() { <-c.compileSem }()
 			start := time.Now()
-			e.sys, e.err = comp.Compile(spec)
+			if err := faultinject.Fire(fiCompilePoint); err != nil {
+				e.err = err
+			} else {
+				e.sys, e.err = comp.Compile(spec)
+			}
 			e.compileNs = time.Since(start).Nanoseconds()
 			c.compiles.Add(1)
 			c.compileNs.Add(e.compileNs)
 			if e.err != nil {
 				c.drop(e)
+			} else if faultinject.Fire(fiEvictPoint) != nil {
+				c.forceEvict(e)
 			}
-			close(e.done)
 		}()
 	})
 	select {
@@ -159,6 +198,20 @@ func (c *systemCache) drop(e *cacheEntry) {
 		c.ll.Remove(el)
 		delete(c.m, e.hash)
 	}
+}
+
+// forceEvict drops e and records it as an eviction — the injected
+// eviction-mid-single-flight fault. Waiters on e.done still receive the
+// compiled System; only the cache forgets it, so the next request for
+// the hash recompiles.
+func (c *systemCache) forceEvict(e *cacheEntry) {
+	c.mu.Lock()
+	if el, ok := c.m[e.hash]; ok && el.Value.(*cacheEntry) == e {
+		c.ll.Remove(el)
+		delete(c.m, e.hash)
+		c.evictions++
+	}
+	c.mu.Unlock()
 }
 
 func (c *systemCache) stats() (hits, misses, evictions int64, size, capacity int) {

@@ -22,11 +22,18 @@
 //	POST /v1/compare     several methods on one compiled system: {spec, methods, ...}
 //	POST /v1/reliability survival probability: {spec, t_seconds, ...}
 //	POST /v1/quantile    failure-time quantile: {spec, p, ...}
-//	POST /v1/sweep       a design-space grid: {sources, rates_per_year, counts, methods, seed, ...}
-//	GET  /healthz        liveness
-//	GET  /metrics        query counts, cache hits, compile time (JSON)
+//	POST /v1/sweep       a design-space grid: {sources, rates_per_year, counts, methods, seed, ...};
+//	                     supports cursor/limit pagination and ?stream=ndjson streaming (resumable)
+//	GET  /healthz        liveness (200 while the process runs)
+//	GET  /readyz         readiness (503 once draining; load balancers stop routing here)
+//	GET  /metrics        query counts, cache hits, compile time, error classes, recovered panics (JSON)
 //
-// Errors are structured: {"error": {"status": N, "message": "..."}}.
+// Errors are structured: {"error": {"status": N, "message": "..."}},
+// with machine-readable extras where a client can act on them
+// (retry_after_seconds on overload 503s, max_sweep_cells and
+// requested_cells on sweep-cap overflows). The failure model — what
+// each fault does to in-flight requests — is documented in DESIGN.md,
+// "Failure model", and enforced by the chaos test suite.
 package server
 
 import (
@@ -38,10 +45,13 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"github.com/soferr/soferr"
+	"github.com/soferr/soferr/internal/faultinject"
 )
 
 // Defaults for Config zero values.
@@ -53,10 +63,20 @@ const (
 	// (50x the package default — sub-0.1% standard error — is plenty for
 	// any served query; the deadline bounds the time either way).
 	maxRequestTrials = 50 * soferr.DefaultTrials
-	// maxSweepCells caps a served sweep's grid size: cell structs are
-	// small but the count is the product of client-supplied axes, and
-	// every cell is at least one query.
+	// maxSweepCells caps the cells one sweep request may evaluate
+	// (Config.MaxSweepCells overrides): cell structs are small but the
+	// count is the product of client-supplied axes, and every cell is at
+	// least one query. Larger grids page through with cursor/limit.
 	maxSweepCells = 65536
+	// maxSweepEnumFactor bounds the grid a paged sweep may enumerate at
+	// all, as a multiple of the per-request cap: cursor pagination must
+	// enumerate the full grid (per-cell seeds derive from absolute cell
+	// indices) even though it evaluates only a window of it.
+	maxSweepEnumFactor = 4
+	// defaultRetryAfterSeconds is the Retry-After hint attached to
+	// overload 503s (saturated limiter, full compile backlog): long
+	// enough for a slot to drain, short enough that clients keep load.
+	defaultRetryAfterSeconds = 1
 	// minTargetRelStdErr clamps client-supplied adaptive precision
 	// targets: trials scale like 1/target^2, so the floor (together
 	// with the trials cap, which adaptive runs also respect) bounds the
@@ -83,6 +103,10 @@ type Config struct {
 	// MaxTimeout caps (and, for requests that set none, supplies) the
 	// per-request deadline (default 60s; negative disables).
 	MaxTimeout time.Duration
+	// MaxSweepCells caps the cells one sweep request may evaluate
+	// (default 65536). Grids up to maxSweepEnumFactor times larger may
+	// still be swept by paging with cursor/limit.
+	MaxSweepCells int
 	// Compiler compiles Specs; supply one to share its benchmark
 	// simulation cache with other users (default: a fresh Compiler).
 	Compiler *soferr.Compiler
@@ -108,6 +132,16 @@ type Server struct {
 	queries    [5]atomic.Int64 // indexed by endpoint
 	errorCount atomic.Int64
 	inflight   atomic.Int64
+
+	// ready is the /readyz state: true from New until BeginDrain. The
+	// process stays live (/healthz 200) while draining; only routing
+	// readiness flips.
+	ready atomic.Bool
+	// panics counts handler panics the recovery middleware contained.
+	panics atomic.Int64
+	// errClasses counts failed requests per endpoint by class:
+	// [0]=4xx, [1]=5xx (excluding 504), [2]=timeouts (504).
+	errClasses [5][3]atomic.Int64
 
 	// Per-endpoint request-latency summaries (count/sum/max), measured
 	// around the whole handler — decode, compile wait, query, encode —
@@ -160,29 +194,120 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/quantile", s.query(epQuantile, s.handleQuantile))
 	s.mux.HandleFunc("/v1/sweep", s.query(epSweep, s.handleSweep))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.ready.Store(true)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. It is also the panic-recovery
+// middleware: a panic anywhere in a handler — a corrupted trace, an
+// injected chaos fault — is contained to that one request (counted,
+// logged with its stack) instead of killing the process. Requests that
+// had not started their response get a structured 500; mid-stream
+// panics abort the connection so the client sees truncation, never a
+// clean-looking partial body.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sr := &startedWriter{ResponseWriter: w}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			// The handler deliberately aborted the response; net/http
+			// handles this quietly. Not ours to contain.
+			panic(rec)
+		}
+		s.panics.Add(1)
+		if s.cfg.Log != nil {
+			fmt.Fprintf(s.cfg.Log, "panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+		}
+		if !sr.started {
+			s.writeError(sr, r, http.StatusInternalServerError,
+				fmt.Sprintf("internal error: recovered panic: %v", rec))
+			return
+		}
+		panic(http.ErrAbortHandler)
+	}()
+	s.mux.ServeHTTP(sr, r)
+}
+
+// startedWriter records whether the response has begun, so the recovery
+// middleware knows whether a structured 500 is still possible. It
+// forwards Flush for the NDJSON streaming path.
+type startedWriter struct {
+	http.ResponseWriter
+	started bool
+}
+
+func (sw *startedWriter) WriteHeader(status int) {
+	sw.started = true
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *startedWriter) Write(b []byte) (int, error) {
+	sw.started = true
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *startedWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
 
 // httpError is the structured error envelope every failure returns.
+// Beyond status and message it carries machine-readable fields a client
+// can act on without parsing prose.
 type httpError struct {
 	Status  int    `json:"status"`
 	Message string `json:"message"`
+	// RetryAfterSeconds, when set, mirrors the Retry-After header: the
+	// failure is overload, not a bad request — back off and resend.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// MaxSweepCells and RequestedCells are set on sweep-cap overflows so
+	// a client can split the grid into cursor/limit pages automatically.
+	MaxSweepCells  int64 `json:"max_sweep_cells,omitempty"`
+	RequestedCells int64 `json:"requested_cells,omitempty"`
 }
 
+// epCtxKey carries the request's endpoint through the context so error
+// writes can be classified per endpoint.
+type epCtxKey struct{}
+
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	s.writeErrorFull(w, r, httpError{Status: status, Message: msg})
+}
+
+func (s *Server) writeErrorFull(w http.ResponseWriter, r *http.Request, he httpError) {
 	s.errorCount.Add(1)
+	if ep, ok := r.Context().Value(epCtxKey{}).(endpoint); ok {
+		switch {
+		case he.Status == http.StatusGatewayTimeout:
+			s.errClasses[ep][2].Add(1)
+		case he.Status >= 500:
+			s.errClasses[ep][1].Add(1)
+		case he.Status >= 400:
+			s.errClasses[ep][0].Add(1)
+		}
+	}
+	// Every overload 503 tells the client when to come back; explicit
+	// hints (none yet) would override the default.
+	if he.Status == http.StatusServiceUnavailable && he.RetryAfterSeconds == 0 {
+		he.RetryAfterSeconds = defaultRetryAfterSeconds
+	}
 	if s.cfg.Log != nil {
-		fmt.Fprintf(s.cfg.Log, "%s %s -> %d %s\n", r.Method, r.URL.Path, status, msg)
+		fmt.Fprintf(s.cfg.Log, "%s %s -> %d %s\n", r.Method, r.URL.Path, he.Status, he.Message)
+	}
+	if he.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(he.RetryAfterSeconds))
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
+	w.WriteHeader(he.Status)
 	json.NewEncoder(w).Encode(struct {
 		Error httpError `json:"error"`
-	}{httpError{Status: status, Message: msg}})
+	}{he})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -207,10 +332,17 @@ func statusFor(err error) int {
 	}
 }
 
+// fiHandlerPoint is the chaos injection point inside the query wrapper,
+// after the limiter: Delay scripts a slow handler, PanicMsg exercises
+// the recovery middleware, Err a structured 500. No-op unless a
+// faultinject schedule is armed.
+const fiHandlerPoint = "server.handler"
+
 // query wraps a handler with the shared per-request machinery: POST
 // enforcement, the concurrency limiter, and the query counter.
 func (s *Server) query(ep endpoint, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		r = r.WithContext(context.WithValue(r.Context(), epCtxKey{}, ep))
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			s.writeError(w, r, http.StatusMethodNotAllowed, "POST a JSON request body")
@@ -230,6 +362,10 @@ func (s *Server) query(ep endpoint, h func(http.ResponseWriter, *http.Request)) 
 			s.inflight.Add(-1)
 			s.observeLatency(ep, time.Since(start))
 		}()
+		if err := faultinject.Fire(fiHandlerPoint); err != nil {
+			s.writeError(w, r, http.StatusInternalServerError, err.Error())
+			return
+		}
 		h(w, r)
 	}
 }
@@ -295,6 +431,11 @@ func compileStatus(err error) int {
 	}
 	if errors.Is(err, errCompileBacklog) {
 		return http.StatusServiceUnavailable
+	}
+	// A contained compile panic or an injected chaos fault is the
+	// server's failure, not the spec's.
+	if errors.Is(err, errCompilePanic) || errors.Is(err, faultinject.ErrInjected) {
+		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest
 }
@@ -622,12 +763,52 @@ type sweepRequest struct {
 	TargetRelStdErr float64 `json:"target_rel_stderr,omitempty"`
 	Workers         int     `json:"workers,omitempty"`
 	TimeoutMS       int64   `json:"timeout_ms,omitempty"`
+	// Stream selects the response shape: "" for the collected JSON
+	// document, "ndjson" for one result line per cell as it completes,
+	// terminated by a {"done":true,...} line (its absence means the
+	// stream was truncated). The ?stream= query parameter overrides.
+	Stream string `json:"stream,omitempty"`
+	// Cursor and Limit page through the grid: evaluate up to Limit cells
+	// starting at absolute cell index Cursor (0 = from the start,
+	// Limit 0 = all remaining). Cells are always enumerated from the
+	// full grid so per-cell seeds — functions of the absolute index —
+	// are identical whether the grid is swept whole or in pages, and a
+	// resumed sweep is bit-identical to the tail of an uninterrupted
+	// one. ?cursor= and ?limit= query parameters override.
+	Cursor int64 `json:"cursor,omitempty"`
+	Limit  int64 `json:"limit,omitempty"`
 }
 
 type sweepResponse struct {
 	Name  string              `json:"name,omitempty"`
 	Cells []soferr.CellResult `json:"cells"`
 	Count int                 `json:"count"`
+	// Cursor echoes the page's starting cell index; NextCursor, when
+	// present, is the cursor that resumes the sweep; Total is the full
+	// grid's cell count.
+	Cursor     int64 `json:"cursor"`
+	NextCursor int64 `json:"next_cursor,omitempty"`
+	Total      int64 `json:"total"`
+}
+
+// sweepLine is one NDJSON result line. Cell.Index is the absolute grid
+// index (resume cursor = last index + 1). Per-cell failures arrive as
+// lines with Error set instead of failing the stream.
+type sweepLine struct {
+	Cell      soferr.Cell       `json:"cell"`
+	Estimates []soferr.Estimate `json:"estimates,omitempty"`
+	Error     string            `json:"error,omitempty"`
+}
+
+// sweepDone is the NDJSON terminator line: a client that never sees it
+// knows the stream was cut and resumes from its last index + 1.
+type sweepDone struct {
+	Done       bool  `json:"done"`
+	Cursor     int64 `json:"cursor"`
+	Count      int64 `json:"count"`
+	NextCursor int64 `json:"next_cursor,omitempty"`
+	Total      int64 `json:"total"`
+	CellErrors int64 `json:"cell_errors,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -659,16 +840,63 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, optionsStatus(err), err.Error())
 		return
 	}
+	// Query parameters override body paging fields so a client can
+	// resume or re-page a sweep without rebuilding the request body.
+	if err := overrideSweepParams(r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Stream != "" && req.Stream != "ndjson" {
+		s.writeError(w, r, http.StatusBadRequest,
+			fmt.Sprintf("unknown stream mode %q (want \"ndjson\")", req.Stream))
+		return
+	}
 	// Cap the cell count before enumerating anything: the axes are
 	// client-controlled and a few large axes in a small body would
-	// otherwise demand an enormous allocation.
+	// otherwise demand an enormous allocation. Two caps: the grid must
+	// be enumerable at all (pagination needs absolute indices, hence a
+	// full enumeration), and the cursor/limit window actually evaluated
+	// must fit the per-request cap.
 	countAxis := len(req.Counts)
 	if countAxis == 0 {
 		countAxis = 1
 	}
-	if n := int64(len(req.Sources)) * int64(len(req.RatesPerYear)) * int64(countAxis); n > maxSweepCells {
+	evalCap := int64(s.cfg.MaxSweepCells)
+	if evalCap <= 0 {
+		evalCap = maxSweepCells
+	}
+	total := int64(len(req.Sources)) * int64(len(req.RatesPerYear)) * int64(countAxis)
+	if total > evalCap*maxSweepEnumFactor {
+		s.writeErrorFull(w, r, httpError{
+			Status: http.StatusBadRequest,
+			Message: fmt.Sprintf("grid of %d cells exceeds the enumerable bound %d; shrink the axes",
+				total, evalCap*maxSweepEnumFactor),
+			MaxSweepCells:  evalCap,
+			RequestedCells: total,
+		})
+		return
+	}
+	if req.Cursor < 0 || req.Cursor > total {
 		s.writeError(w, r, http.StatusBadRequest,
-			fmt.Sprintf("sweep of %d cells exceeds the per-request cap %d", n, maxSweepCells))
+			fmt.Sprintf("cursor %d outside [0, %d]", req.Cursor, total))
+		return
+	}
+	if req.Limit < 0 {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("limit %d is negative", req.Limit))
+		return
+	}
+	window := total - req.Cursor
+	if req.Limit > 0 && req.Limit < window {
+		window = req.Limit
+	}
+	if window > evalCap {
+		s.writeErrorFull(w, r, httpError{
+			Status: http.StatusBadRequest,
+			Message: fmt.Sprintf("sweep of %d cells exceeds the per-request cap %d; page with cursor/limit",
+				window, evalCap),
+			MaxSweepCells:  evalCap,
+			RequestedCells: window,
+		})
 		return
 	}
 	grid := soferr.Grid{
@@ -679,29 +907,151 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Methods:      methods,
 		Seed:         req.Seed,
 	}
-	// Enumerate once: shape errors surface here as clean 400s, and the
-	// cells feed straight into the engine; errors after this point are
-	// runtime failures and map via statusFor.
+	// Enumerate the FULL grid, then slice the page: per-cell seeds are
+	// derived from absolute cell indices at enumeration time and ride
+	// along in Cell.Seed, which is what makes a cursor-resumed page
+	// bit-identical to the same cells of an unpaged sweep. Shape errors
+	// surface here as clean 400s; errors after this point are runtime
+	// failures and map via statusFor.
 	cells, err := grid.Cells()
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	page := cells[req.Cursor : req.Cursor+window]
+	nextCursor := int64(0)
+	if end := req.Cursor + window; end < total {
+		nextCursor = end
+	}
 	ctx, cancel := s.queryContext(r, req.TimeoutMS)
 	defer cancel()
-	results, err := soferr.SweepCellsAll(ctx, grid.Sources, cells, methods, nil, opts...)
+	if req.Stream == "ndjson" {
+		s.streamSweep(ctx, w, r, grid, page, methods, opts, req.Cursor, nextCursor, total)
+		return
+	}
+	results, err := soferr.SweepCellsAll(ctx, grid.Sources, page, methods, nil, opts...)
 	if err != nil {
 		s.writeError(w, r, statusFor(err), err.Error())
 		return
 	}
-	writeJSON(w, sweepResponse{Name: req.Name, Cells: results, Count: len(results)})
+	// The engine renumbers cell indices to page positions; restore the
+	// absolute grid indices the cursor contract promises.
+	for i := range results {
+		results[i].Cell.Index = int(req.Cursor) + i
+	}
+	writeJSON(w, sweepResponse{
+		Name: req.Name, Cells: results, Count: len(results),
+		Cursor: req.Cursor, NextCursor: nextCursor, Total: total,
+	})
 }
 
+// overrideSweepParams applies the ?stream=, ?cursor=, and ?limit= query
+// parameters over the body's paging fields.
+func overrideSweepParams(r *http.Request, req *sweepRequest) error {
+	q := r.URL.Query()
+	if v := q.Get("stream"); v != "" {
+		req.Stream = v
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int64
+	}{{"cursor", &req.Cursor}, {"limit", &req.Limit}} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("invalid %s parameter %q", p.name, v)
+			}
+			*p.dst = n
+		}
+	}
+	return nil
+}
+
+// streamSweep writes the page as NDJSON: one sweepLine per cell as it
+// completes (in cell order, per-cell errors as Error lines), then the
+// sweepDone terminator. Once the first line is out the status is
+// committed; later failures surface as a truncated stream — no done
+// line — which clients treat as "resume from last index + 1".
+func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, r *http.Request,
+	grid soferr.Grid, page []soferr.Cell, methods []soferr.Method, opts []soferr.EstimateOption,
+	cursor, nextCursor, total int64) {
+	ch, err := soferr.SweepCells(ctx, grid.Sources, page, methods, opts...)
+	if err != nil {
+		s.writeError(w, r, statusFor(err), err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var delivered, cellErrors int64
+	for res := range ch {
+		line := sweepLine{Cell: res.Cell, Estimates: res.Estimates}
+		line.Cell.Index = int(cursor) + res.Cell.Index
+		if res.Err != nil {
+			line.Error = res.Err.Error()
+			line.Estimates = nil
+			cellErrors++
+		}
+		if err := enc.Encode(line); err != nil {
+			// The client went away; drain via context cancellation is the
+			// caller's job — just stop writing.
+			return
+		}
+		delivered++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if delivered < int64(len(page)) {
+		// The context ended before the page finished: ending without the
+		// done line IS the truncation signal.
+		return
+	}
+	enc.Encode(sweepDone{
+		Done: true, Cursor: cursor, Count: delivered,
+		NextCursor: nextCursor, Total: total, CellErrors: cellErrors,
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// handleHealthz is pure liveness: 200 for as long as the process can
+// answer at all, including while draining. Orchestrators use it to
+// decide whether to restart the process, not whether to route to it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		Status        string  `json:"status"`
 		UptimeSeconds float64 `json:"uptime_seconds"`
 	}{"ok", time.Since(s.start).Seconds()})
+}
+
+// BeginDrain flips /readyz to 503 without touching in-flight work: load
+// balancers stop routing new requests here while existing ones finish.
+// Call it before http.Server.Shutdown so the readiness flip propagates
+// ahead of the listener closing.
+func (s *Server) BeginDrain() { s.ready.Store(false) }
+
+// Ready reports the /readyz state.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// handleReadyz is routing readiness: 200 while accepting new work, 503
+// (with Retry-After) once BeginDrain has been called. Deliberately not
+// routed through writeError — drain-time readiness probes are expected
+// traffic, not failures to count.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type readyz struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(defaultRetryAfterSeconds))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(readyz{"draining", time.Since(s.start).Seconds()})
+		return
+	}
+	writeJSON(w, readyz{"ready", time.Since(s.start).Seconds()})
 }
 
 // Metrics is the /metrics document (also returned by the method for
@@ -713,7 +1063,18 @@ type Metrics struct {
 	Latency  map[string]LatencySummary `json:"latency"`
 	Errors   int64                     `json:"errors"`
 	Inflight int64                     `json:"inflight"`
-	Cache    struct {
+	// ErrorClasses splits each endpoint's failures into client errors,
+	// server errors, and timeouts, so an operator can tell overload and
+	// bugs apart from bad requests at a glance.
+	ErrorClasses map[string]ErrorClassCounts `json:"error_classes"`
+	// PanicsRecovered counts handler panics the recovery middleware
+	// contained; any nonzero value is a bug worth chasing, but a bug
+	// that did not take the process down.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// FaultInjection reports per-point hit/fired counts while a chaos
+	// schedule is armed (absent in production, where nothing is armed).
+	FaultInjection map[string]faultinject.PointStats `json:"fault_injection,omitempty"`
+	Cache          struct {
 		Hits      int64 `json:"hits"`
 		Misses    int64 `json:"misses"`
 		Evictions int64 `json:"evictions"`
@@ -732,6 +1093,15 @@ type LatencySummary struct {
 	MaxMS   float64 `json:"max_ms"`
 }
 
+// ErrorClassCounts is one endpoint's failed requests by class. C4xx is
+// the client's fault, C5xx the server's (excluding deadlines), and
+// Timeouts the per-request deadline expiries (504).
+type ErrorClassCounts struct {
+	C4xx     int64 `json:"4xx"`
+	C5xx     int64 `json:"5xx"`
+	Timeouts int64 `json:"timeouts"`
+}
+
 // Metrics returns a snapshot of the server's counters.
 func (s *Server) Metrics() Metrics {
 	var m Metrics
@@ -745,6 +1115,16 @@ func (s *Server) Metrics() Metrics {
 			MaxMS:   float64(s.latMaxNs[i].Load()) / 1e6,
 		}
 	}
+	m.ErrorClasses = make(map[string]ErrorClassCounts, len(endpointNames))
+	for i, name := range endpointNames {
+		m.ErrorClasses[name] = ErrorClassCounts{
+			C4xx:     s.errClasses[i][0].Load(),
+			C5xx:     s.errClasses[i][1].Load(),
+			Timeouts: s.errClasses[i][2].Load(),
+		}
+	}
+	m.PanicsRecovered = s.panics.Load()
+	m.FaultInjection = faultinject.Snapshot()
 	m.Errors = s.errorCount.Load()
 	m.Inflight = s.inflight.Load()
 	hits, misses, evictions, size, capacity := s.cache.stats()

@@ -2,14 +2,22 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"github.com/soferr/soferr/internal/trace"
 )
+
+// ErrCellPanic tags a cell whose compile or eval callback panicked.
+// The panic is contained to the claiming worker and delivered as that
+// cell's per-cell error — the sweep (and the process) continues with
+// the remaining cells.
+var ErrCellPanic = errors.New("sweep: cell evaluation panicked")
 
 // Options tunes a Run.
 type Options struct {
@@ -138,16 +146,24 @@ func Run[S, R any](
 				}
 				c := work[i]
 				res := Result[R]{Cell: c}
-				if err := ctx.Err(); err != nil {
-					// Claimed cells always report, so the in-order
-					// emitter never waits on a gap; unclaimed cells
-					// are simply never delivered.
-					res.Err = err
-				} else if sys, err := systems[sysKey{c.Source, c.EffectiveRatePerYear()}].get(); err != nil {
-					res.Err = fmt.Errorf("sweep: cell %d (%s): %w", c.Index, c.SourceName, err)
-				} else if res.Value, res.Err = eval(ctx, sys, c); res.Err != nil {
-					res.Err = fmt.Errorf("sweep: cell %d (%s): %w", c.Index, c.SourceName, res.Err)
-				}
+				// Claimed cells always report — even when their compile
+				// or eval panics — so the in-order emitter never waits
+				// on a gap; unclaimed cells are simply never delivered.
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							res.Err = fmt.Errorf("sweep: cell %d (%s): %w: %v\n%s",
+								c.Index, c.SourceName, ErrCellPanic, rec, debug.Stack())
+						}
+					}()
+					if err := ctx.Err(); err != nil {
+						res.Err = err
+					} else if sys, err := systems[sysKey{c.Source, c.EffectiveRatePerYear()}].get(); err != nil {
+						res.Err = fmt.Errorf("sweep: cell %d (%s): %w", c.Index, c.SourceName, err)
+					} else if res.Value, res.Err = eval(ctx, sys, c); res.Err != nil {
+						res.Err = fmt.Errorf("sweep: cell %d (%s): %w", c.Index, c.SourceName, res.Err)
+					}
+				}()
 				inner <- res
 			}
 		}()
@@ -200,6 +216,15 @@ type onceVal[T any] struct {
 
 func (o *onceVal[T]) get() (T, error) {
 	o.once.Do(func() {
+		// Contain panics here too: sync.Once marks itself done even
+		// when its function panics, so without the recover a panicking
+		// compile would leave every sharing cell a zero value with a
+		// nil error.
+		defer func() {
+			if rec := recover(); rec != nil {
+				o.err = fmt.Errorf("%w: %v\n%s", ErrCellPanic, rec, debug.Stack())
+			}
+		}()
 		o.val, o.err = o.compute()
 		o.compute = nil
 	})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -374,5 +375,53 @@ func TestRunCancellation(t *testing.T) {
 	}
 	if n > len(cells) {
 		t.Errorf("got %d results for %d cells", n, len(cells))
+	}
+}
+
+// TestRunPanicContainedPerCell: a panicking eval (or compile) is a
+// per-cell ErrCellPanic error — the sweep delivers every other cell
+// and the process survives.
+func TestRunPanicContainedPerCell(t *testing.T) {
+	tr := busyIdle(t, 100, 50)
+	sources := []Source{{Name: "a", Trace: tr}}
+	cells := []Cell{
+		{Source: 0, RatePerYear: 1, Count: 1},
+		{Source: 0, RatePerYear: 2, Count: 1},
+		{Source: 0, RatePerYear: 3, Count: 1},
+	}
+	ch, err := Run(context.Background(), sources, cells, Options{Workers: 2},
+		func(name string, tr trace.Trace, eff float64) (int, error) {
+			if eff == 3 {
+				panic("compile kaboom")
+			}
+			return int(eff), nil
+		},
+		func(ctx context.Context, sys int, c Cell) (int, error) {
+			if c.RatePerYear == 2 {
+				panic("eval kaboom")
+			}
+			return sys, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Result[int]
+	for r := range ch {
+		got = append(got, r)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d results, want 3", len(got))
+	}
+	if got[0].Err != nil {
+		t.Errorf("healthy cell errored: %v", got[0].Err)
+	}
+	for _, i := range []int{1, 2} {
+		if !errors.Is(got[i].Err, ErrCellPanic) {
+			t.Errorf("cell %d err = %v, want ErrCellPanic", i, got[i].Err)
+		}
+	}
+	if !strings.Contains(fmt.Sprint(got[1].Err), "eval kaboom") ||
+		!strings.Contains(fmt.Sprint(got[2].Err), "compile kaboom") {
+		t.Errorf("panic values missing from errors:\n%v\n%v", got[1].Err, got[2].Err)
 	}
 }
