@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check docs race verify bench bench-go serve chaos clean
+.PHONY: all build test vet fmt-check docs race verify bench bench-go serve chaos lint fuzz-smoke clean
 
 all: build
 
@@ -54,6 +54,21 @@ serve:
 # DESIGN.md, "Failure model".
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Panic|Injected|Eviction|Readyz|RetryAfter|Resume' ./internal/faultinject/... ./internal/montecarlo/... ./internal/sweep/... ./internal/server/... ./client/...
+
+# lint runs the soferrlint static-contract suite (nondeterminism,
+# hotpath, errcontract, ctxflow, faultpoint — see DESIGN.md, "Static
+# contracts") over every package, via the go vet -vettool protocol.
+# Editors can run the same binary: go vet -vettool=$$(which soferrlint).
+lint:
+	$(GO) build -o bin/soferrlint ./cmd/soferrlint
+	$(GO) vet -vettool=bin/soferrlint ./...
+
+# fuzz-smoke gives each native fuzz target a short budget on top of its
+# committed seed corpus (testdata/fuzz). CI runs the same step; longer
+# local sessions: go test -fuzz FuzzSpecDecode -fuzztime 5m .
+fuzz-smoke:
+	$(GO) test -run FuzzSpecDecode -fuzz FuzzSpecDecode -fuzztime 15s .
+	$(GO) test -run FuzzMergedExposure -fuzz FuzzMergedExposure -fuzztime 15s ./internal/trace
 
 # bench-go runs the full go-test benchmark suite (experiments +
 # substrates) without writing the JSON report.

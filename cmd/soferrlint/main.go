@@ -1,0 +1,75 @@
+// Command soferrlint runs the soferr static-contract analyzers
+// (nondeterminism, hotpath, errcontract, ctxflow, faultpoint — see
+// DESIGN.md, "Static contracts") over Go packages.
+//
+// Two modes share one binary:
+//
+//	soferrlint ./...
+//	    Standalone. The command re-executes itself through the go
+//	    tool ("go vet -vettool=<self> <patterns>"), which loads,
+//	    type-checks, and caches packages, then exits with go vet's
+//	    status. Default pattern: ./...
+//
+//	go vet -vettool=$(which soferrlint) ./...
+//	    Unitchecker protocol, driven by the go command directly; this
+//	    is what editors and gopls-compatible tooling invoke, and what
+//	    CI runs. Single analyzers can be selected the usual way:
+//	    go vet -vettool=... -nondeterminism ./...
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"github.com/soferr/soferr/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if unitcheckerInvocation(args) {
+		unitchecker.Main(lint.Suite()...) // never returns
+	}
+	os.Exit(standalone(args))
+}
+
+// unitcheckerInvocation reports whether the go command is driving this
+// process with the vet tool protocol: a -V=full version probe, a
+// -flags schema probe, or a unit *.cfg argument.
+func unitcheckerInvocation(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// standalone re-executes the suite through go vet so the go command
+// does the package loading. Flags (e.g. -nondeterminism) pass through
+// ahead of the patterns.
+func standalone(args []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soferrlint: cannot locate own executable: %v\n", err)
+		return 2
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "soferrlint: %v\n", err)
+		return 2
+	}
+	return 0
+}

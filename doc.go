@@ -106,4 +106,6 @@
 // See README.md for an overview, examples/ for runnable programs, and
 // DESIGN.md / EXPERIMENTS.md for the mapping from the paper's tables
 // and figures to this code.
+//
+//soferr:deterministic
 package soferr

@@ -20,6 +20,15 @@ import (
 	"github.com/soferr/soferr/internal/numeric"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errNonPositiveRate    = errors.New("analytic: non-positive rate")
+	errBusyWindow         = errors.New("analytic: need 0 <= a <= l with l > 0")
+	errBusyWindowPositive = errors.New("analytic: need 0 < a <= l")
+	errBadN               = errors.New("analytic: need n >= 1")
+	errQuadratureFailed   = errors.New("analytic: quadrature failed")
+)
+
 // WrappedExpPDF returns the density of X = T mod L at x in [0, L), where
 // T is exponential with the given rate (Theorem 1):
 //
@@ -71,10 +80,10 @@ func WrappedExpUniformityGap(rate, l float64) float64 {
 // term by term; the two are property-tested for equality.
 func BusyIdleMTTF(rate, l, a float64) (float64, error) {
 	if rate <= 0 {
-		return 0, errors.New("analytic: non-positive rate")
+		return 0, errNonPositiveRate
 	}
 	if l <= 0 || a < 0 || a > l {
-		return 0, errors.New("analytic: need 0 <= a <= l with l > 0")
+		return 0, errBusyWindow
 	}
 	if a == 0 {
 		return math.Inf(1), nil // never vulnerable
@@ -96,10 +105,10 @@ func BusyIdleMTTF(rate, l, a float64) (float64, error) {
 // BusyIdleMTTF, which is better conditioned for tiny rate*l.
 func BusyIdleMTTFPaperForm(rate, l, a float64) (float64, error) {
 	if rate <= 0 {
-		return 0, errors.New("analytic: non-positive rate")
+		return 0, errNonPositiveRate
 	}
 	if l <= 0 || a <= 0 || a > l {
-		return 0, errors.New("analytic: need 0 < a <= l")
+		return 0, errBusyWindowPositive
 	}
 	el := numeric.ExpNeg(rate * l)
 	ea := numeric.ExpNeg(rate * a)
@@ -115,10 +124,10 @@ func BusyIdleMTTFPaperForm(rate, l, a float64) (float64, error) {
 // a/l (Section 3.1.2).
 func BusyIdleAVFMTTF(rate, l, a float64) (float64, error) {
 	if rate <= 0 {
-		return 0, errors.New("analytic: non-positive rate")
+		return 0, errNonPositiveRate
 	}
 	if l <= 0 || a < 0 || a > l {
-		return 0, errors.New("analytic: need 0 <= a <= l with l > 0")
+		return 0, errBusyWindow
 	}
 	if a == 0 {
 		return math.Inf(1), nil
@@ -146,12 +155,12 @@ func BusyIdleAVFError(rate, l, a float64) (float64, error) {
 // survival function.
 func SeriesHalfGaussianMTTF(n int) (float64, error) {
 	if n < 1 {
-		return 0, errors.New("analytic: need n >= 1")
+		return 0, errBadN
 	}
 	m := dist.MinOfIID{X: dist.HalfGaussian{}, N: n}
 	v := m.Mean()
 	if math.IsNaN(v) {
-		return 0, errors.New("analytic: quadrature failed")
+		return 0, errQuadratureFailed
 	}
 	return v, nil
 }
@@ -162,7 +171,7 @@ func SeriesHalfGaussianMTTF(n int) (float64, error) {
 // error is attributable to the SOFR step alone.
 func SeriesHalfGaussianSOFRMTTF(n int) (float64, error) {
 	if n < 1 {
-		return 0, errors.New("analytic: need n >= 1")
+		return 0, errBadN
 	}
 	return 1 / (float64(n) * math.Sqrt(math.Pi)), nil
 }

@@ -19,6 +19,11 @@ import (
 	"github.com/soferr/soferr/internal/units"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errNilTrace = errors.New("avf: nil trace")
+)
+
 // OfTrace returns the AVF of a masking trace: the fraction of time a raw
 // error would be unmasked.
 func OfTrace(tr trace.Trace) float64 { return tr.AVF() }
@@ -44,7 +49,7 @@ func MTTF(rate, avf float64) (float64, error) {
 // rate and masking trace.
 func ComponentMTTF(rate float64, tr trace.Trace) (float64, error) {
 	if tr == nil {
-		return 0, errors.New("avf: nil trace")
+		return 0, errNilTrace
 	}
 	return MTTF(rate, tr.AVF())
 }

@@ -1,0 +1,119 @@
+// Package ctxflow implements the soferrlint analyzer enforcing the
+// context contract on library packages (every non-main package,
+// excluding tests):
+//
+//   - a function that takes a context.Context takes it as the first
+//     parameter (after the receiver), so ctx threads uniformly
+//     through the query path;
+//   - context.Background() and context.TODO() are forbidden inside
+//     library code — a fresh root context severs the caller's
+//     deadline and cancellation; thread the ctx parameter instead.
+//     Convenience wrappers that are deliberately ctx-less document it
+//     with //soferr:allow ctxflow <why>.
+//
+// Escape hatch: //soferr:allow ctxflow <why>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/soferr/soferr/internal/lint/directive"
+)
+
+const name = "ctxflow"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "require context.Context first and forbid context.Background/TODO in library packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, directive.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := pass.ResultOf[directive.Analyzer].(*directive.Index)
+	for _, a := range dirs.Unjustified(name) {
+		pass.Reportf(a.Pos, "soferr:allow %s needs a justification (\"//soferr:allow %s <why>\")", name, name)
+	}
+
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	report := func(n ast.Node, format string, args ...interface{}) {
+		if dirs.Allows(name, n.Pos()) {
+			return
+		}
+		pass.Reportf(n.Pos(), format, args...)
+	}
+
+	inTest := false
+	ins.Preorder([]ast.Node{
+		(*ast.File)(nil),
+		(*ast.FuncDecl)(nil),
+		(*ast.CallExpr)(nil),
+	}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			inTest = strings.HasSuffix(pass.Fset.File(n.Pos()).Name(), "_test.go")
+		case *ast.FuncDecl:
+			if inTest {
+				return
+			}
+			checkCtxFirst(pass, report, n)
+		case *ast.CallExpr:
+			if inTest {
+				return
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return
+			}
+			if fn.Name() == "Background" || fn.Name() == "TODO" {
+				report(n, "context.%s() inside a library package severs the caller's deadline and cancellation; thread the ctx parameter (or //soferr:allow ctxflow <why>)", fn.Name())
+			}
+		}
+	})
+	return nil, nil
+}
+
+func checkCtxFirst(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), fd *ast.FuncDecl) {
+	params := fd.Type.Params
+	if params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) && pos > 0 {
+			report(field, "%s takes context.Context at parameter %d; the contract threads ctx first so every query path cancels uniformly", fd.Name.Name, pos+1)
+			return
+		}
+		pos += n
+	}
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/soferr/soferr/internal/lint/ctxflow"
+	"github.com/soferr/soferr/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), ctxflow.Analyzer, "ctxlib", "ctxmain")
+}

@@ -1,0 +1,36 @@
+// Package ctxlib seeds positive and negative cases for the ctxflow
+// analyzer over a library (non-main) package.
+package ctxlib
+
+import "context"
+
+type store struct{}
+
+func Query(ctx context.Context, q string) error { return ctx.Err() }
+
+func (s *store) Get(ctx context.Context, key string) error { return ctx.Err() }
+
+func Lookup(q string, ctx context.Context) error { // want `Lookup takes context.Context at parameter 2`
+	return ctx.Err()
+}
+
+func detached() error {
+	ctx := context.Background() // want `context.Background\(\) inside a library package`
+	return ctx.Err()
+}
+
+func todo() error {
+	return context.TODO().Err() // want `context.TODO\(\) inside a library package`
+}
+
+// MustQuery is the documented ctx-less convenience wrapper.
+//
+//soferr:allow ctxflow convenience wrapper; callers needing cancellation use Query
+func MustQuery(q string) error {
+	return Query(context.Background(), q)
+}
+
+func unjustified() {
+	/* want `soferr:allow ctxflow needs a justification` */ //soferr:allow ctxflow
+	_ = context.Background()                                // want `context.Background\(\) inside a library package`
+}

@@ -1,0 +1,14 @@
+// Command ctxmain shows that package main is exempt from the ctxflow
+// contract: main owns the root context.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	run(ctx)
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}

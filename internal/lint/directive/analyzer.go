@@ -1,0 +1,21 @@
+package directive
+
+import (
+	"reflect"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer parses the soferr directive grammar once per package and
+// hands the index to the five contract analyzers through ResultOf. It
+// reports nothing itself; grammar errors are reported by the analyzer
+// each directive names (missing justifications) and by nondeterminism
+// (unknown check names), so a typo cannot silently suppress anything.
+var Analyzer = &analysis.Analyzer{
+	Name:       "soferrdirectives",
+	Doc:        "parse //soferr:deterministic, //soferr:hotpath, and //soferr:allow directives",
+	ResultType: reflect.TypeOf((*Index)(nil)),
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		return Parse(pass.Fset, pass.Files), nil
+	},
+}

@@ -1,0 +1,115 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"github.com/soferr/soferr/internal/lint/directive"
+)
+
+const src = `// Package p is the directive-parsing fixture.
+//
+//soferr:deterministic
+package p
+
+//soferr:hotpath
+func hot() {}
+
+func cold() {}
+
+//soferr:allow errcontract whole function is a legacy shim
+func shim() {
+	helper()
+}
+
+func lines() {
+	helper() //soferr:allow ctxflow trailing with reason
+	//soferr:allow nondeterminism standalone with reason
+	helper()
+	helper()
+}
+
+//soferr:allow hotpath
+func bare() {}
+
+func helper() {}
+`
+
+func TestParse(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := directive.Parse(fset, []*ast.File{f})
+
+	if !idx.Deterministic() {
+		t.Error("Deterministic() = false, want true")
+	}
+
+	funcs := make(map[string]*ast.FuncDecl)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			funcs[fd.Name.Name] = fd
+		}
+	}
+	if !idx.Hotpath(funcs["hot"]) {
+		t.Error("Hotpath(hot) = false, want true")
+	}
+	if idx.Hotpath(funcs["cold"]) {
+		t.Error("Hotpath(cold) = true, want false")
+	}
+
+	// A doc-comment allow covers the whole function.
+	shimCall := callsIn(funcs["shim"])[0]
+	if !idx.Allows("errcontract", shimCall.Pos()) {
+		t.Error("doc-comment allow does not cover the function body")
+	}
+	if idx.Allows("nondeterminism", shimCall.Pos()) {
+		t.Error("doc-comment allow leaks to another check")
+	}
+
+	// A trailing allow covers its own line; a standalone allow covers
+	// the next line and no further.
+	calls := callsIn(funcs["lines"])
+	if len(calls) != 3 {
+		t.Fatalf("got %d calls in lines(), want 3", len(calls))
+	}
+	if !idx.Allows("ctxflow", calls[0].Pos()) {
+		t.Error("trailing allow does not cover its own line")
+	}
+	if !idx.Allows("nondeterminism", calls[1].Pos()) {
+		t.Error("standalone allow does not cover the next line")
+	}
+	if idx.Allows("nondeterminism", calls[2].Pos()) {
+		t.Error("standalone allow leaks past the next line")
+	}
+
+	// A justification-less allow suppresses nothing and is reported.
+	bareCall := funcs["bare"]
+	if idx.Allows("hotpath", bareCall.Body.Pos()) {
+		t.Error("bare allow suppresses despite missing justification")
+	}
+	unj := idx.Unjustified("hotpath")
+	if len(unj) != 1 {
+		t.Fatalf("Unjustified(hotpath) = %d entries, want 1", len(unj))
+	}
+
+	known := map[string]bool{"errcontract": true, "ctxflow": true, "nondeterminism": true, "hotpath": true}
+	if bad := idx.UnknownChecks(known); len(bad) != 0 {
+		t.Errorf("UnknownChecks = %v, want none", bad)
+	}
+}
+
+func callsIn(fd *ast.FuncDecl) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}

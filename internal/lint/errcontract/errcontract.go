@@ -1,0 +1,138 @@
+// Package errcontract implements the soferrlint analyzer enforcing
+// the typed-error contract: errors crossing package boundaries are
+// typed sentinels (package-level errors.New vars) or wrap one with
+// %w, so callers branch with errors.Is/errors.As instead of matching
+// message text. Two constructs break the contract and are flagged in
+// non-test code:
+//
+//   - a naked errors.New(...) in a return statement — the error is a
+//     fresh dynamic value no caller can test for; hoist it to a
+//     package-level sentinel or wrap a sentinel with fmt.Errorf and
+//     %w;
+//   - string matching on err.Error() (strings.Contains/HasPrefix/
+//     HasSuffix/EqualFold or ==/!= against a string) — message text
+//     is not API.
+//
+// Escape hatch: //soferr:allow errcontract <why>.
+package errcontract
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/soferr/soferr/internal/lint/directive"
+)
+
+const name = "errcontract"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "forbid naked errors.New at return sites and string matching on err.Error() in non-test code",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, directive.Analyzer},
+	Run:      run,
+}
+
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := pass.ResultOf[directive.Analyzer].(*directive.Index)
+	for _, a := range dirs.Unjustified(name) {
+		pass.Reportf(a.Pos, "soferr:allow %s needs a justification (\"//soferr:allow %s <why>\")", name, name)
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	report := func(n ast.Node, format string, args ...interface{}) {
+		if dirs.Allows(name, n.Pos()) {
+			return
+		}
+		pass.Reportf(n.Pos(), format, args...)
+	}
+
+	inTest := false
+	ins.Preorder([]ast.Node{
+		(*ast.File)(nil),
+		(*ast.ReturnStmt)(nil),
+		(*ast.CallExpr)(nil),
+		(*ast.BinaryExpr)(nil),
+	}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			inTest = strings.HasSuffix(pass.Fset.File(n.Pos()).Name(), "_test.go")
+		case *ast.ReturnStmt:
+			if inTest {
+				return
+			}
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isErrorsNew(pass, call) {
+					report(call, "naked errors.New at a return site; hoist it to a package-level sentinel or wrap one with fmt.Errorf and %%w")
+				}
+			}
+		case *ast.CallExpr:
+			if inTest {
+				return
+			}
+			checkStringMatch(pass, report, n)
+		case *ast.BinaryExpr:
+			if inTest {
+				return
+			}
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return
+			}
+			if isErrErrorCall(pass, n.X) || isErrErrorCall(pass, n.Y) {
+				report(n, "comparing err.Error() text; match the sentinel with errors.Is instead — message text is not API")
+			}
+		}
+	})
+	return nil, nil
+}
+
+func isErrorsNew(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "errors" && fn.Name() == "New"
+}
+
+func checkStringMatch(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "strings" || !stringMatchFuncs[fn.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrErrorCall(pass, arg) {
+			report(call, "strings.%s on err.Error(); match the sentinel with errors.Is instead — message text is not API", fn.Name())
+			return
+		}
+	}
+}
+
+// isErrErrorCall reports whether e is a call of the Error() method on
+// a value of type error.
+func isErrErrorCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	return t != nil && types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,12 @@
+package errcontract_test
+
+import (
+	"testing"
+
+	"github.com/soferr/soferr/internal/lint/errcontract"
+	"github.com/soferr/soferr/internal/lint/linttest"
+)
+
+func TestErrcontract(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), errcontract.Analyzer, "errc")
+}

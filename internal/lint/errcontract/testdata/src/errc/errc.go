@@ -1,0 +1,55 @@
+// Package errc seeds positive and negative cases for the errcontract
+// analyzer: naked errors.New at return sites and message-text matching
+// are diagnostics; sentinels, %w wrapping, and errors.Is pass.
+package errc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel errors of this package; callers branch with errors.Is.
+var errBoom = errors.New("errc: boom")
+
+func naked() error {
+	return errors.New("errc: naked") // want `naked errors.New at a return site`
+}
+
+func sentinel() error {
+	return errBoom
+}
+
+func wrapped(q string) error {
+	return fmt.Errorf("errc: query %s: %w", q, errBoom)
+}
+
+func matchText(err error) bool {
+	return strings.Contains(err.Error(), "boom") // want `strings.Contains on err.Error\(\)`
+}
+
+func matchPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "errc:") // want `strings.HasPrefix on err.Error\(\)`
+}
+
+func compareText(err error) bool {
+	return err.Error() == "errc: boom" // want `comparing err.Error\(\) text`
+}
+
+func matchTyped(err error) bool {
+	return errors.Is(err, errBoom)
+}
+
+func plainStrings(s string) bool {
+	return strings.Contains(s, "boom")
+}
+
+func allowedNaked() error {
+	//soferr:allow errcontract wire message pinned by an external protocol test
+	return errors.New("errc: pinned")
+}
+
+func unjustified() error {
+	/* want `soferr:allow errcontract needs a justification` */ //soferr:allow errcontract
+	return errors.New("errc: pinned too")                       // want `naked errors.New at a return site`
+}

@@ -1,0 +1,17 @@
+package errc
+
+import (
+	"errors"
+	"strings"
+)
+
+// Test files are exempt from the errcontract checks: ad-hoc errors and
+// message matching are fine inside tests.
+
+func testOnlyNaked() error {
+	return errors.New("errc: test-only")
+}
+
+func testOnlyMatch(err error) bool {
+	return strings.Contains(err.Error(), "test-only")
+}

@@ -1,0 +1,193 @@
+// Package faultpoint implements the soferrlint analyzer enforcing the
+// fault-injection registry contract (internal/faultinject): chaos
+// schedules script faults by point NAME, so a renamed, duplicated, or
+// orphaned point silently turns a chaos test into a no-op. The
+// analyzer checks that
+//
+//   - every faultinject.Fire call site passes a declared point
+//     constant (named fi...Point), never a string literal or a
+//     computed value;
+//   - point names are unique — within the package and, through
+//     package facts, across every package in the import graph;
+//   - every declared point constant is armed by at least one Fire
+//     site in its declaring package (dead-point detection), so a
+//     schedule written against it can actually fire.
+//
+// Escape hatch: //soferr:allow faultpoint <why>.
+package faultpoint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/soferr/soferr/internal/lint/directive"
+)
+
+const name = "faultpoint"
+
+// Points is the package fact carrying a package's declared injection
+// points, so downstream packages can detect cross-package name
+// collisions.
+type Points struct {
+	// Names maps point name -> qualified constant ("pkg.fiFooPoint").
+	Names map[string]string
+}
+
+// AFact marks Points as an analysis fact.
+func (*Points) AFact() {}
+
+func (p *Points) String() string {
+	keys := make([]string, 0, len(p.Names))
+	for k := range p.Names {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("points%v", keys)
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      name,
+	Doc:       "require declared, unique, and live faultinject point constants at every Fire site",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer, directive.Analyzer},
+	FactTypes: []analysis.Fact{(*Points)(nil)},
+	Run:       run,
+}
+
+var pointNameRE = regexp.MustCompile(`^fi\w*Point$`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := pass.ResultOf[directive.Analyzer].(*directive.Index)
+	for _, a := range dirs.Unjustified(name) {
+		pass.Reportf(a.Pos, "soferr:allow %s needs a justification (\"//soferr:allow %s <why>\")", name, name)
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	report := func(n ast.Node, format string, args ...interface{}) {
+		if dirs.Allows(name, n.Pos()) {
+			return
+		}
+		pass.Reportf(n.Pos(), format, args...)
+	}
+
+	// Pass 1: declared point constants (name convention fi...Point).
+	type declared struct {
+		ident *ast.Ident
+		value string
+	}
+	var decls []declared
+	byValue := make(map[string]*ast.Ident)
+	ins.Preorder([]ast.Node{(*ast.ValueSpec)(nil)}, func(n ast.Node) {
+		spec := n.(*ast.ValueSpec)
+		for _, id := range spec.Names {
+			if !pointNameRE.MatchString(id.Name) {
+				continue
+			}
+			c, ok := pass.TypesInfo.Defs[id].(*types.Const)
+			if !ok || c.Val().Kind() != constant.String {
+				continue
+			}
+			v := constant.StringVal(c.Val())
+			if prev, dup := byValue[v]; dup {
+				report(id, "fault point %q declared twice in this package (%s and %s); chaos schedules address points by name, so duplicates arm both", v, prev.Name, id.Name)
+			} else {
+				byValue[v] = id
+			}
+			decls = append(decls, declared{id, v})
+		}
+	})
+
+	// Pass 2: Fire call sites.
+	fired := make(map[types.Object]bool)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isFireCall(pass, call) || len(call.Args) != 1 {
+			return
+		}
+		arg := ast.Unparen(call.Args[0])
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			if sel, isSel := arg.(*ast.SelectorExpr); isSel {
+				id, ok = sel.Sel, true
+			}
+		}
+		if ok {
+			if c, isConst := pass.TypesInfo.Uses[id].(*types.Const); isConst {
+				fired[c] = true
+				if !pointNameRE.MatchString(id.Name) {
+					report(arg, "Fire point constant %s does not follow the fi...Point naming convention; dead-point detection cannot track it", id.Name)
+				}
+				return
+			}
+		}
+		report(arg, "faultinject.Fire with a non-constant point name; declare an fi...Point constant so chaos schedules and dead-point detection can see it")
+	})
+
+	// Dead points: declared but never armed by a Fire site here.
+	for _, d := range decls {
+		if !fired[pass.TypesInfo.Defs[d.ident]] {
+			report(d.ident, "fault point %s (%q) has no faultinject.Fire site in its declaring package; a chaos schedule against it can never fire", d.ident.Name, d.value)
+		}
+	}
+
+	// Cross-package uniqueness through facts.
+	if len(decls) > 0 {
+		names := make(map[string]string, len(decls))
+		for _, d := range decls {
+			names[d.value] = pass.Pkg.Path() + "." + d.ident.Name
+		}
+		for _, imp := range transitiveImports(pass.Pkg) {
+			var fact Points
+			if !pass.ImportPackageFact(imp, &fact) {
+				continue
+			}
+			for _, d := range decls {
+				if prev, dup := fact.Names[d.value]; dup {
+					report(d.ident, "fault point %q collides with %s; point names are global to the chaos registry", d.value, prev)
+				}
+			}
+		}
+		pass.ExportPackageFact(&Points{Names: names})
+	}
+
+	return nil, nil
+}
+
+func isFireCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Fire" || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Name() == "faultinject"
+}
+
+func transitiveImports(pkg *types.Package) []*types.Package {
+	seen := make(map[*types.Package]bool)
+	var out []*types.Package
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		out = append(out, p)
+		for _, imp := range p.Imports() {
+			visit(imp)
+		}
+	}
+	for _, imp := range pkg.Imports() {
+		visit(imp)
+	}
+	return out
+}

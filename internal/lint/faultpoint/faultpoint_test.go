@@ -1,0 +1,12 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"github.com/soferr/soferr/internal/lint/faultpoint"
+	"github.com/soferr/soferr/internal/lint/linttest"
+)
+
+func TestFaultpoint(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), faultpoint.Analyzer, "faultinject", "fpa", "fpb")
+}

@@ -1,0 +1,7 @@
+// Package faultinject is a minimal stub of the real registry: the
+// faultpoint analyzer matches Fire call sites by the callee's package
+// name, so testdata packages import this local copy.
+package faultinject
+
+// Fire reports whether an armed fault fires at the named point.
+func Fire(point string) error { return nil }

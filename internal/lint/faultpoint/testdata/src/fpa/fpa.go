@@ -1,0 +1,36 @@
+// Package fpa seeds the in-package faultpoint cases: declared and
+// fired points pass; dead points, duplicate values, literals,
+// non-constant names, and off-convention constants are diagnostics.
+package fpa
+
+import "faultinject"
+
+const (
+	fiGoodPoint = "fpa.good"
+	fiDeadPoint = "fpa.dead" // want `fault point fiDeadPoint \("fpa.dead"\) has no faultinject.Fire site`
+	fiDupAPoint = "fpa.dup"
+	fiDupBPoint = "fpa.dup" // want `fault point "fpa.dup" declared twice in this package \(fiDupAPoint and fiDupBPoint\)`
+	notAPoint   = "fpa.loose"
+)
+
+func Work() error {
+	if err := faultinject.Fire(fiGoodPoint); err != nil {
+		return err
+	}
+	if err := faultinject.Fire("fpa.literal"); err != nil { // want `faultinject.Fire with a non-constant point name`
+		return err
+	}
+	p := pointName()
+	if err := faultinject.Fire(p); err != nil { // want `faultinject.Fire with a non-constant point name`
+		return err
+	}
+	if err := faultinject.Fire(notAPoint); err != nil { // want `Fire point constant notAPoint does not follow the fi...Point naming convention`
+		return err
+	}
+	if err := faultinject.Fire(fiDupAPoint); err != nil {
+		return err
+	}
+	return faultinject.Fire(fiDupBPoint)
+}
+
+func pointName() string { return "fpa.dynamic" }

@@ -1,0 +1,15 @@
+// Package fpb imports fpa and reuses one of its point names, so the
+// cross-package collision flows through the Points package fact.
+package fpb
+
+import (
+	"faultinject"
+
+	_ "fpa"
+)
+
+const fiClashPoint = "fpa.good" // want `fault point "fpa.good" collides with fpa.fiGoodPoint`
+
+func Work() error {
+	return faultinject.Fire(fiClashPoint)
+}

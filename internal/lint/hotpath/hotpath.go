@@ -1,0 +1,261 @@
+// Package hotpath implements the soferrlint analyzer that turns the
+// AllocsPerRun regression tests into source-level checks. A function
+// annotated //soferr:hotpath (the per-trial loops and inversion
+// kernels) must stay free of the heap-escaping constructs the
+// annotation forbids:
+//
+//   - fmt calls (formatting allocates and drags in interfaces);
+//   - append to a slice without a visible make(..., len, cap)
+//     preallocation in the same function;
+//   - conversions and assignments of concrete values into interface
+//     types (each boxes its operand);
+//   - closures that capture an enclosing loop's variables (the
+//     capture forces the variable to the heap every iteration).
+//
+// The runtime AllocsPerRun tests remain the ground truth; this
+// analyzer catches the regressions at compile time and on paths the
+// tests do not exercise. Escape hatch: //soferr:allow hotpath <why>.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/soferr/soferr/internal/lint/directive"
+)
+
+const name = "hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "forbid heap-escaping constructs in //soferr:hotpath functions",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, directive.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := pass.ResultOf[directive.Analyzer].(*directive.Index)
+	for _, a := range dirs.Unjustified(name) {
+		pass.Reportf(a.Pos, "soferr:allow %s needs a justification (\"//soferr:allow %s <why>\")", name, name)
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if !dirs.Hotpath(fd) || fd.Body == nil {
+			return
+		}
+		check(pass, dirs, fd)
+	})
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, dirs *directive.Index, fd *ast.FuncDecl) {
+	report := func(n ast.Node, format string, args ...interface{}) {
+		if dirs.Allows(name, n.Pos()) {
+			return
+		}
+		pass.Reportf(n.Pos(), format, args...)
+	}
+
+	// Track the for/range statements enclosing each node so closures
+	// can be tested against their loops' variables. The stack grows on
+	// entering a loop node and shrinks when the walk passes its End.
+	var loops []ast.Stmt
+	pruneLoops := func(pos ast.Node) {
+		for len(loops) > 0 && pos.Pos() >= loops[len(loops)-1].End() {
+			loops = loops[:len(loops)-1]
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		pruneLoops(n)
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+		case *ast.FuncLit:
+			if v := capturedLoopVar(pass, n, loops); v != "" {
+				report(n, "hotpath closure captures loop variable %s; the capture heap-allocates it every iteration", v)
+			}
+			// Keep walking: the closure body is hot too.
+		case *ast.CallExpr:
+			checkCall(pass, report, fd, n)
+		case *ast.AssignStmt:
+			checkInterfaceAssign(pass, report, n)
+		case *ast.ValueSpec:
+			checkInterfaceValueSpec(pass, report, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), fd *ast.FuncDecl, call *ast.CallExpr) {
+	// fmt calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			report(call, "hotpath calls fmt.%s; formatting allocates — build errors and strings outside the trial loop", fn.Name())
+			return
+		}
+	}
+	// append without a visible preallocation.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+			if !preallocated(pass, fd, call.Args[0]) {
+				report(call, "hotpath append without a visible make(_, len, cap) preallocation in this function; grow outside the hot loop or preallocate")
+			}
+			return
+		}
+	}
+	// Explicit conversion to an interface type: T(x) with T interface.
+	if len(call.Args) == 1 {
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			if isInterface(tv.Type) && !isInterface(pass.TypesInfo.TypeOf(call.Args[0])) {
+				report(call, "hotpath converts a concrete value to interface %s; the conversion boxes its operand", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			}
+		}
+	}
+}
+
+// preallocated reports whether the append target is an identifier
+// whose defining assignment in the same function is a three-argument
+// make (explicit capacity).
+func preallocated(pass *analysis.Pass, fd *ast.FuncDecl, target ast.Expr) bool {
+	id, ok := target.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(assign.Rhs) {
+				continue
+			}
+			lobj := pass.TypesInfo.Defs[lid]
+			if lobj == nil {
+				lobj = pass.TypesInfo.Uses[lid]
+			}
+			if lobj != obj {
+				continue
+			}
+			if mk, ok := assign.Rhs[i].(*ast.CallExpr); ok {
+				if mid, ok := mk.Fun.(*ast.Ident); ok {
+					if b, ok := pass.TypesInfo.Uses[mid].(*types.Builtin); ok && b.Name() == "make" && len(mk.Args) == 3 {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func checkInterfaceAssign(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), assign *ast.AssignStmt) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i := range assign.Lhs {
+		lt := pass.TypesInfo.TypeOf(assign.Lhs[i])
+		rt := pass.TypesInfo.TypeOf(assign.Rhs[i])
+		if isInterface(lt) && rt != nil && !isInterface(rt) && !isUntypedNil(pass, assign.Rhs[i]) {
+			report(assign.Rhs[i], "hotpath assigns a concrete %s into interface %s; the assignment boxes its operand",
+				types.TypeString(rt, types.RelativeTo(pass.Pkg)), types.TypeString(lt, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+func checkInterfaceValueSpec(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), spec *ast.ValueSpec) {
+	if spec.Type == nil || len(spec.Values) == 0 {
+		return
+	}
+	lt := pass.TypesInfo.TypeOf(spec.Type)
+	if !isInterface(lt) {
+		return
+	}
+	for _, v := range spec.Values {
+		rt := pass.TypesInfo.TypeOf(v)
+		if rt != nil && !isInterface(rt) && !isUntypedNil(pass, v) {
+			report(v, "hotpath assigns a concrete %s into interface %s; the assignment boxes its operand",
+				types.TypeString(rt, types.RelativeTo(pass.Pkg)), types.TypeString(lt, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isUntypedNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// capturedLoopVar returns the name of an enclosing-loop variable the
+// closure references, or "" when it captures none.
+func capturedLoopVar(pass *analysis.Pass, lit *ast.FuncLit, loops []ast.Stmt) string {
+	loopVars := make(map[types.Object]string)
+	for _, l := range loops {
+		switch l := l.(type) {
+		case *ast.ForStmt:
+			if init, ok := l.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							loopVars[obj] = id.Name
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{l.Key, l.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						loopVars[obj] = id.Name
+					}
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return ""
+	}
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if name, ok := loopVars[pass.TypesInfo.Uses[id]]; ok {
+				captured = name
+			}
+		}
+		return true
+	})
+	return captured
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"github.com/soferr/soferr/internal/lint/hotpath"
+	"github.com/soferr/soferr/internal/lint/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), hotpath.Analyzer, "hot")
+}

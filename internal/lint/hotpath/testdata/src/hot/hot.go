@@ -1,0 +1,81 @@
+// Package hot seeds positive and negative cases for the hotpath
+// analyzer: only //soferr:hotpath-annotated functions are checked,
+// and each forbidden construct has an annotated and an allowed form.
+package hot
+
+import "fmt"
+
+type codeErr int
+
+func (codeErr) Error() string { return "code" }
+
+//soferr:hotpath
+func hotFmt(x float64) string {
+	return fmt.Sprintf("%v", x) // want `hotpath calls fmt.Sprintf; formatting allocates`
+}
+
+//soferr:hotpath
+func hotAppendBad(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x*2) // want `hotpath append without a visible make`
+	}
+	return out
+}
+
+//soferr:hotpath
+func hotAppendPrealloc(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+//soferr:hotpath
+func hotIfaceConv(x codeErr) error {
+	return error(x) // want `hotpath converts a concrete value to interface error`
+}
+
+//soferr:hotpath
+func hotIfaceAssign(x float64) {
+	var box interface{}
+	box = x // want `hotpath assigns a concrete float64 into interface interface\{\}`
+	_ = box
+}
+
+//soferr:hotpath
+func hotIfaceDecl(x float64) {
+	var box interface{} = x // want `hotpath assigns a concrete float64 into interface`
+	_ = box
+}
+
+//soferr:hotpath
+func hotClosure(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		add := func() { total += x } // want `hotpath closure captures loop variable x`
+		add()
+	}
+	return total
+}
+
+//soferr:hotpath
+func hotAllowedFmt(x float64) string {
+	//soferr:allow hotpath abort path; formats once per run, not per trial
+	return fmt.Sprintf("%v", x)
+}
+
+func coldUnjustified() {
+	/* want `soferr:allow hotpath needs a justification` */ //soferr:allow hotpath
+}
+
+// cold is not annotated, so nothing in it is checked.
+func cold(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	_ = fmt.Sprintf("%d", len(out))
+	return out
+}

@@ -1,0 +1,30 @@
+// Package lint assembles the soferrlint analyzer suite: the five
+// custom go/analysis analyzers that statically enforce this repo's
+// determinism, hot-path, error, context, and fault-injection
+// contracts (see DESIGN.md, "Static contracts").
+//
+// The suite runs through cmd/soferrlint, standalone or as a
+// `go vet -vettool`; each analyzer also works on its own under any
+// go/analysis driver.
+package lint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/soferr/soferr/internal/lint/ctxflow"
+	"github.com/soferr/soferr/internal/lint/errcontract"
+	"github.com/soferr/soferr/internal/lint/faultpoint"
+	"github.com/soferr/soferr/internal/lint/hotpath"
+	"github.com/soferr/soferr/internal/lint/nondeterminism"
+)
+
+// Suite returns the soferrlint analyzers in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nondeterminism.Analyzer,
+		hotpath.Analyzer,
+		errcontract.Analyzer,
+		ctxflow.Analyzer,
+		faultpoint.Analyzer,
+	}
+}

@@ -1,0 +1,324 @@
+// Package linttest is the analysistest-style harness for the
+// soferrlint analyzers. The x/tools analysistest package is not
+// vendored with the toolchain's go/analysis subset, so this package
+// reimplements the part the suite needs: load a package rooted at
+// testdata/src/<pkg>, type-check it against the standard library (and
+// against sibling testdata packages, so fact flow across imports is
+// exercised), run the analyzer with its Requires dependencies, and
+// diff the diagnostics against `// want "regexp"` comments.
+//
+// Expectation syntax, per line (trailing or preceding comments both
+// attach to their own line):
+//
+//	x := foo() // want "naked errors" "second diagnostic on this line"
+//
+// Each quoted string is a regexp that must match one diagnostic
+// reported on that line; every diagnostic must be matched by exactly
+// one expectation and vice versa.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the caller's testdata directory, mirroring
+// analysistest.TestData.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads each named package from testdata/src/<pkg>, applies the
+// analyzer (and its Requires closure, with package facts flowing
+// across testdata-local imports), and checks diagnostics against the
+// // want comments in the named packages' sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	h := &harness{
+		t:        t,
+		srcdir:   filepath.Join(testdata, "src"),
+		fset:     token.NewFileSet(),
+		loaded:   make(map[string]*loadedPkg),
+		analyzed: make(map[analyzedKey][]analysis.Diagnostic),
+		results:  make(map[analyzedKey]interface{}),
+		pkgFacts: make(map[*types.Package][]analysis.Fact),
+	}
+	h.stdImporter = importer.ForCompiler(h.fset, "source", nil)
+	for _, pkg := range pkgs {
+		lp := h.load(pkg)
+		diags := h.analyze(a, lp)
+		h.check(lp, diags)
+	}
+}
+
+type loadedPkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	// deps are the testdata-local imports, in import order.
+	deps []*loadedPkg
+}
+
+type analyzedKey struct {
+	a   *analysis.Analyzer
+	pkg *types.Package
+}
+
+type harness struct {
+	t           *testing.T
+	srcdir      string
+	fset        *token.FileSet
+	stdImporter types.Importer
+	loaded      map[string]*loadedPkg
+	analyzed    map[analyzedKey][]analysis.Diagnostic
+	results     map[analyzedKey]interface{}
+	pkgFacts    map[*types.Package][]analysis.Fact
+}
+
+// Import implements types.Importer over testdata-local packages first,
+// falling back to the source importer for the standard library.
+func (h *harness) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(h.srcdir, path)); err == nil && st.IsDir() {
+		return h.load(path).pkg, nil
+	}
+	return h.stdImporter.Import(path)
+}
+
+func (h *harness) load(path string) *loadedPkg {
+	h.t.Helper()
+	if lp, ok := h.loaded[path]; ok {
+		if lp == nil {
+			h.t.Fatalf("linttest: import cycle through %s", path)
+		}
+		return lp
+	}
+	h.loaded[path] = nil // cycle guard
+	dir := filepath.Join(h.srcdir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		h.t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(h.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			h.t.Fatalf("linttest: parse %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		h.t.Fatalf("linttest: no Go files under %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: h}
+	pkg, err := conf.Check(path, h.fset, files, info)
+	if err != nil {
+		h.t.Fatalf("linttest: type-check %s: %v", path, err)
+	}
+	lp := &loadedPkg{path: path, files: files, pkg: pkg, info: info}
+	for _, imp := range pkg.Imports() {
+		if dep, ok := h.loaded[imp.Path()]; ok && dep != nil {
+			lp.deps = append(lp.deps, dep)
+		}
+	}
+	h.loaded[path] = lp
+	return lp
+}
+
+// analyze runs the analyzer (and its Requires closure) over the
+// package, memoized, after analyzing testdata-local dependencies so
+// package facts flow along imports like a real driver.
+func (h *harness) analyze(a *analysis.Analyzer, lp *loadedPkg) []analysis.Diagnostic {
+	h.t.Helper()
+	key := analyzedKey{a, lp.pkg}
+	if diags, ok := h.analyzed[key]; ok {
+		return diags
+	}
+	h.analyzed[key] = nil // cycle guard; analyzers must not be cyclic
+	for _, dep := range lp.deps {
+		h.analyze(a, dep)
+	}
+	resultOf := make(map[*analysis.Analyzer]interface{})
+	for _, req := range a.Requires {
+		h.analyze(req, lp)
+		resultOf[req] = h.results[analyzedKey{req, lp.pkg}]
+	}
+
+	var diags []analysis.Diagnostic
+	factTypes := make(map[reflect.Type]bool)
+	for _, f := range a.FactTypes {
+		factTypes[reflect.TypeOf(f)] = true
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       h.fset,
+		Files:      lp.files,
+		Pkg:        lp.pkg,
+		TypesInfo:  lp.info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		ResultOf:   resultOf,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:   os.ReadFile,
+		ImportPackageFact: func(pkg *types.Package, fact Fact) bool {
+			for _, f := range h.pkgFacts[pkg] {
+				if reflect.TypeOf(f) == reflect.TypeOf(fact) {
+					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+					return true
+				}
+			}
+			return false
+		},
+		ExportPackageFact: func(fact Fact) {
+			if !factTypes[reflect.TypeOf(fact)] {
+				h.t.Fatalf("linttest: %s exported unregistered fact type %T", a.Name, fact)
+			}
+			h.pkgFacts[lp.pkg] = append(h.pkgFacts[lp.pkg], fact)
+		},
+		ImportObjectFact: func(obj types.Object, fact Fact) bool { return false },
+		ExportObjectFact: func(obj types.Object, fact Fact) {
+			h.t.Fatalf("linttest: object facts are not supported by this harness (%s)", a.Name)
+		},
+		AllPackageFacts: func() []analysis.PackageFact { return nil },
+		AllObjectFacts:  func() []analysis.ObjectFact { return nil },
+	}
+	result, err := a.Run(pass)
+	if err != nil {
+		h.t.Fatalf("linttest: analyzer %s on %s: %v", a.Name, lp.path, err)
+	}
+	if a.ResultType != nil && result != nil && reflect.TypeOf(result) != a.ResultType {
+		h.t.Fatalf("linttest: analyzer %s returned %T, want %v", a.Name, result, a.ResultType)
+	}
+	h.results[key] = result
+	h.analyzed[key] = diags
+	return diags
+}
+
+// Fact aliases analysis.Fact for the closures above.
+type Fact = analysis.Fact
+
+// wantRE matches an expectation introduced at a comment start ("//
+// want" or "/* want ... */") or embedded after an inner "//" — the
+// latter lets a test attach a want to a line whose only comment is a
+// directive under test.
+var wantRE = regexp.MustCompile(`(?:^|//|/\*)\s*want\s+(.*?)\s*(?:\*/)?$`)
+
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// check diffs diagnostics against the package's want comments.
+func (h *harness) check(lp *loadedPkg, diags []analysis.Diagnostic) {
+	h.t.Helper()
+	var wants []*expectation
+	for _, f := range lp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := h.fset.Position(c.Pos())
+				for _, raw := range splitQuoted(h.t, pos, m[1]) {
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						h.t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := h.fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			h.t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			h.t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitQuoted parses the sequence of Go-quoted or backquoted strings
+// after "want".
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			t.Fatalf("%s: malformed want expectation at %q", pos, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want string %q", pos, s)
+		}
+		raw := s[:end+2]
+		unq, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want string %s: %v", pos, raw, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no expectations", pos)
+	}
+	return out
+}

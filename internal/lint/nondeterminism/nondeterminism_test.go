@@ -1,0 +1,12 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"github.com/soferr/soferr/internal/lint/linttest"
+	"github.com/soferr/soferr/internal/lint/nondeterminism"
+)
+
+func TestNondeterminism(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), nondeterminism.Analyzer, "nondet", "unmarked")
+}

@@ -1,0 +1,92 @@
+// Package nondet seeds positive and negative cases for the
+// nondeterminism analyzer: the package is marked deterministic, so
+// wall clocks, global math/rand, and order-feeding map iteration are
+// diagnostics, while order-insensitive folds and sorted collections
+// pass.
+//
+//soferr:deterministic
+package nondet
+
+import (
+	"math/rand" // want `deterministic core imports math/rand`
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `deterministic core reads the wall clock \(time.Now\)`
+	return t.Unix()
+}
+
+func wallClockSince(start time.Time) time.Duration {
+	return time.Since(start) // want `deterministic core reads the wall clock \(time.Since\)`
+}
+
+func allowedWallClock() int64 {
+	//soferr:allow nondeterminism latency metric is observability, not part of the estimate
+	t := time.Now()
+	return t.Unix()
+}
+
+func unjustifiedAllow() int64 {
+	/* want `soferr:allow nondeterminism needs a justification` */ //soferr:allow nondeterminism
+	t := time.Now()                                                // want `deterministic core reads the wall clock`
+	return t.Unix()
+}
+
+func globalRand() float64 {
+	return rand.Float64()
+}
+
+func mapOrderReturned(m map[string]int) []string {
+	for k := range m { // want `map iteration order feeds a return value`
+		if k == "stop" {
+			return []string{k}
+		}
+	}
+	return nil
+}
+
+func mapOrderAppended(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order feeds keys without a following sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapOrderSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapOrderSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func mapOrderChannel(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration order feeds a channel`
+		ch <- k
+	}
+}
+
+//soferr:allow nondeterminism the caller shuffles deliberately; order does not reach results
+func mapOrderAllowedWholeFunc(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func typoedAllow() {
+	//soferr:allow nondetreminism oops // want `soferr:allow names unknown check "nondetreminism"`
+}

@@ -1,0 +1,18 @@
+// Package unmarked carries no //soferr:deterministic marker and is
+// not a known core import path, so the nondeterminism contract does
+// not apply: wall clocks and unordered map iteration pass untouched.
+package unmarked
+
+import "time"
+
+func Timestamp() int64 {
+	return time.Now().Unix()
+}
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -11,6 +11,12 @@ import (
 	"math/bits"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errEmptyTLB   = errors.New("mem: TLB needs at least one entry")
+	errBadLatency = errors.New("mem: non-positive memory latency")
+)
+
 // CacheConfig describes one cache level.
 type CacheConfig struct {
 	// SizeBytes is the total capacity.
@@ -144,7 +150,7 @@ type TLBConfig struct {
 // Validate checks the configuration.
 func (c TLBConfig) Validate() error {
 	if c.Entries <= 0 {
-		return errors.New("mem: TLB needs at least one entry")
+		return errEmptyTLB
 	}
 	if c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0 {
 		return fmt.Errorf("mem: page size %d not a positive power of two", c.PageBytes)
@@ -257,7 +263,7 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		return nil, fmt.Errorf("DTLB: %w", err)
 	}
 	if cfg.MemLatencyCycles <= 0 {
-		return nil, errors.New("mem: non-positive memory latency")
+		return nil, errBadLatency
 	}
 	return &Hierarchy{
 		L1I: l1i, L1D: l1d, L2: l2,

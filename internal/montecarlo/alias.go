@@ -61,6 +61,8 @@ func newAliasTable(weights []float64) *aliasTable {
 // of u*n selects the bucket and the fractional part is reused as the
 // biased coin. One draw per sample keeps the stream consumption equal
 // to the linear-scan sampler it replaces.
+//
+//soferr:hotpath
 func (t *aliasTable) pick(u float64) int {
 	n := len(t.prob)
 	scaled := u * float64(n)

@@ -90,6 +90,8 @@ func newFusedState(components []Component) *fusedState {
 // the merged hazard table, then per-component fallback draws for
 // components outside the merge, taking the min. A trial in which
 // nothing fails within the representable horizon reports +Inf.
+//
+//soferr:hotpath
 func trialFused(fs *fusedState, r *xrand.Rand, maxArrivals int) (float64, error) {
 	best := math.Inf(1)
 	if fs.merged != nil && fs.totalHaz > 0 {

@@ -71,6 +71,8 @@ func newInvComps(components []Component) []invComp {
 }
 
 // sample draws one first-unmasked-arrival time for the component.
+//
+//soferr:hotpath
 func (ic *invComp) sample(r *xrand.Rand) float64 {
 	if ic.perPeriodExposure == 0 {
 		// rate*m(L) underflowed to zero: failure is beyond any
@@ -95,6 +97,8 @@ func (ic *invComp) sample(r *xrand.Rand) float64 {
 // component fails within the representable horizon (every per-period
 // exposure underflowed to zero) reports +Inf, the never-failing
 // answer, rather than an error.
+//
+//soferr:hotpath
 func trialInverted(comps []invComp, r *xrand.Rand, maxArrivals int) (float64, error) {
 	best := math.Inf(1)
 	for i := range comps {

@@ -38,6 +38,8 @@
 //
 // The engines are property-tested against each other and against the
 // closed forms in package analytic.
+//
+//soferr:deterministic
 package montecarlo
 
 import (
@@ -55,6 +57,11 @@ import (
 	"github.com/soferr/soferr/internal/numeric"
 	"github.com/soferr/soferr/internal/trace"
 	"github.com/soferr/soferr/internal/xrand"
+)
+
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errNoComponents = errors.New("montecarlo: no components")
 )
 
 // Component is one failure source: a raw-error Poisson process filtered
@@ -222,7 +229,7 @@ type Compiled struct {
 // not be mutated afterwards.
 func Compile(components []Component) (*Compiled, error) {
 	if len(components) == 0 {
-		return nil, errors.New("montecarlo: no components")
+		return nil, errNoComponents
 	}
 	c := &Compiled{components: make([]Component, len(components))}
 	copy(c.components, components)
@@ -583,6 +590,8 @@ func trialStream(seed, trial uint64) *xrand.Rand {
 // reseedTrialStream is trialStream without the allocation: it resets a
 // reused Rand to the identical per-trial stream (xrand.Reseed matches
 // xrand.New bit for bit).
+//
+//soferr:hotpath
 func reseedTrialStream(r *xrand.Rand, seed, trial uint64) {
 	r.Reseed(seed*0x9e3779b97f4a7c15 + trial + 1)
 }
@@ -590,6 +599,8 @@ func reseedTrialStream(r *xrand.Rand, seed, trial uint64) {
 // trialSuperposed simulates the union process: arrivals at the summed
 // rate, each attributed to a component proportionally to its rate and
 // masked by that component's trace.
+//
+//soferr:hotpath
 func trialSuperposed(components []Component, total float64, alias *aliasTable, r *xrand.Rand, maxArrivals int) (float64, error) {
 	t := 0.0
 	for n := 0; n < maxArrivals; n++ {
@@ -599,12 +610,14 @@ func trialSuperposed(components []Component, total float64, alias *aliasTable, r
 			return t, nil
 		}
 	}
-	return 0, fmt.Errorf("montecarlo: trial exceeded %d arrivals without failure", maxArrivals)
+	return 0, fmt.Errorf("montecarlo: trial exceeded %d arrivals without failure", maxArrivals) //soferr:allow hotpath abort path past the arrival cap; allocating off the steady state is fine
 }
 
 // pick selects a component with probability proportional to its rate,
 // via the alias table when one was built and a linear scan otherwise.
 // Both consume exactly one uniform draw.
+//
+//soferr:hotpath
 func pick(components []Component, total float64, alias *aliasTable, r *xrand.Rand) *Component {
 	if len(components) == 1 {
 		return &components[0]
@@ -627,6 +640,8 @@ func pick(components []Component, total float64, alias *aliasTable, r *xrand.Ran
 // returns the earliest failure time. A trial in which no component
 // fails within the representable horizon reports +Inf, the
 // never-failing answer, rather than an error.
+//
+//soferr:hotpath
 func trialNaive(components []Component, r *xrand.Rand, maxArrivals int) (float64, error) {
 	best := math.Inf(1)
 	for i := range components {
@@ -646,6 +661,8 @@ func trialNaive(components []Component, r *xrand.Rand, maxArrivals int) (float64
 // against the trace until the first unmasked arrival, giving up once t
 // exceeds cutoff (a later arrival cannot beat the running minimum).
 // failed reports whether an unmasked arrival at t < cutoff was found.
+//
+//soferr:hotpath
 func thinFirstArrival(c *Component, r *xrand.Rand, cutoff float64, maxArrivals int) (t float64, failed bool, err error) {
 	if c.Rate == 0 || c.Trace.AVF() == 0 {
 		return 0, false, nil
@@ -659,5 +676,5 @@ func thinFirstArrival(c *Component, r *xrand.Rand, cutoff float64, maxArrivals i
 			return t, true, nil
 		}
 	}
-	return 0, false, fmt.Errorf("montecarlo: component %s exceeded %d arrivals", c.Name, maxArrivals)
+	return 0, false, fmt.Errorf("montecarlo: component %s exceeded %d arrivals", c.Name, maxArrivals) //soferr:allow hotpath abort path past the arrival cap; allocating off the steady state is fine
 }

@@ -9,6 +9,12 @@ import (
 	"github.com/soferr/soferr/internal/numeric"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errTooFewSamples   = errors.New("montecarlo: need at least 2 samples")
+	errUnsortedSamples = errors.New("montecarlo: samples not sorted")
+)
+
 // SystemTTFSamples runs the Monte-Carlo engine and returns the raw
 // time-to-failure samples (sorted ascending) instead of only their
 // mean. Samples expose the shape of the failure distribution, which is
@@ -52,11 +58,11 @@ type TTFStats struct {
 func ComputeTTFStats(sorted []float64) (TTFStats, error) {
 	n := len(sorted)
 	if n < 2 {
-		return TTFStats{}, errors.New("montecarlo: need at least 2 samples")
+		return TTFStats{}, errTooFewSamples
 	}
 	for i := 1; i < n; i++ {
 		if sorted[i] < sorted[i-1] {
-			return TTFStats{}, errors.New("montecarlo: samples not sorted")
+			return TTFStats{}, errUnsortedSamples
 		}
 	}
 	mean, se := numeric.MeanStdErr(sorted)

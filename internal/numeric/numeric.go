@@ -3,11 +3,18 @@
 // min-of-N integral), numerically stable exponential forms (for the
 // Derivation 1 closed form across twelve decades of lambda*L), and
 // compensated summation for the Monte-Carlo averages.
+//
+//soferr:deterministic
 package numeric
 
 import (
 	"errors"
 	"math"
+)
+
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errNoBracket = errors.New("numeric: Bisect endpoints do not bracket a root")
 )
 
 // ErrNoConvergence is returned when an iterative routine exhausts its
@@ -133,6 +140,8 @@ type KahanSum struct {
 }
 
 // Add accumulates x.
+//
+//soferr:hotpath
 func (k *KahanSum) Add(x float64) {
 	t := k.sum + x
 	if math.Abs(k.sum) >= math.Abs(x) {
@@ -217,7 +226,7 @@ func Bisect(f func(float64) float64, a, b, xtol float64) (float64, error) {
 		return b, nil
 	}
 	if (fa > 0) == (fb > 0) {
-		return 0, errors.New("numeric: Bisect endpoints do not bracket a root")
+		return 0, errNoBracket
 	}
 	for i := 0; i < 200; i++ {
 		m := (a + b) / 2

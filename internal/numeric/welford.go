@@ -5,6 +5,8 @@ import "math"
 // ExpInvCDF returns the standard-exponential quantile -log(1-u) for
 // u in [0, 1), using log1p so that small u (the common case: most
 // uniform draws are far from 1) loses no precision to cancellation.
+//
+//soferr:hotpath
 func ExpInvCDF(u float64) float64 { return -math.Log1p(-u) }
 
 // TruncExpInvCDF returns the quantile of a standard exponential
@@ -13,6 +15,8 @@ func ExpInvCDF(u float64) float64 { return -math.Log1p(-u) }
 // [0, 1). pmax is passed as a probability (1 - e^(-bound)) rather than
 // as the bound itself so callers can compute it once with
 // OneMinusExpNeg and keep full precision when the bound is tiny.
+//
+//soferr:hotpath
 func TruncExpInvCDF(u, pmax float64) float64 { return -math.Log1p(-u * pmax) }
 
 // Welford is a streaming mean/variance accumulator (Welford's online
@@ -26,6 +30,8 @@ type Welford struct {
 }
 
 // Add accumulates one observation.
+//
+//soferr:hotpath
 func (w *Welford) Add(x float64) {
 	w.n++
 	d := x - w.mean

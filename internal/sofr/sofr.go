@@ -17,12 +17,17 @@ import (
 	"math"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errNoComponents = errors.New("sofr: no components")
+)
+
 // SystemRate returns the summed failure rate (Equation 2), in failures
 // per second, from component MTTFs in seconds. Components with infinite
 // MTTF contribute zero.
 func SystemRate(mttfs []float64) (float64, error) {
 	if len(mttfs) == 0 {
-		return 0, errors.New("sofr: no components")
+		return 0, errNoComponents
 	}
 	total := 0.0
 	for i, m := range mttfs {

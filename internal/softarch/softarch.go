@@ -38,6 +38,11 @@ import (
 	"github.com/soferr/soferr/internal/trace"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errNilTrace = errors.New("softarch: nil trace")
+)
+
 // Component mirrors montecarlo.Component: a raw-error rate in
 // errors/second and a masking trace.
 type Component struct {
@@ -54,7 +59,7 @@ func ComponentMTTF(rate float64, tr trace.Trace) (float64, error) {
 		return 0, fmt.Errorf("softarch: invalid rate %v", rate)
 	}
 	if tr == nil {
-		return 0, errors.New("softarch: nil trace")
+		return 0, errNilTrace
 	}
 	if rate == 0 || tr.AVF() == 0 {
 		return math.Inf(1), nil

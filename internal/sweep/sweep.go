@@ -30,6 +30,8 @@
 // The package is evaluator-agnostic: Run is generic over the compiled
 // system and result types, and the public soferr.Sweep surface supplies
 // compile/eval callbacks backed by soferr.NewSystem and System.MTTF.
+//
+//soferr:deterministic
 package sweep
 
 import (
@@ -38,6 +40,12 @@ import (
 	"math"
 
 	"github.com/soferr/soferr/internal/trace"
+)
+
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errNoSources = errors.New("sweep: grid has no sources")
+	errNoRates   = errors.New("sweep: grid has no rates")
 )
 
 // Source is one point on a grid's trace axis: a named workload whose
@@ -122,7 +130,7 @@ func (g Grid) NumCells() int {
 // Validate checks the axes without enumerating cells.
 func (g Grid) Validate() error {
 	if len(g.Sources) == 0 {
-		return errors.New("sweep: grid has no sources")
+		return errNoSources
 	}
 	for i, s := range g.Sources {
 		if s.Trace == nil && s.Build == nil {
@@ -130,7 +138,7 @@ func (g Grid) Validate() error {
 		}
 	}
 	if len(g.RatesPerYear) == 0 {
-		return errors.New("sweep: grid has no rates")
+		return errNoRates
 	}
 	for i, r := range g.RatesPerYear {
 		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {

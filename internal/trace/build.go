@@ -9,6 +9,18 @@ import (
 	"github.com/soferr/soferr/internal/numeric"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errNonPositivePeriod  = errors.New("trace: non-positive period")
+	errEmptyBitTrace      = errors.New("trace: empty bit trace")
+	errNonPositiveCycle   = errors.New("trace: non-positive cycle duration")
+	errEmptyLevelTrace    = errors.New("trace: empty level trace")
+	errWeightedUnionShape = errors.New("trace: WeightedUnion needs equal non-zero numbers of weights and traces")
+	errAllWeightsZero     = errors.New("trace: all weights zero")
+	errConcatEmpty        = errors.New("trace: Concat of nothing")
+	errLongLoopEmpty      = errors.New("trace: LongLoop with no phases")
+)
+
 // Interval is a half-open vulnerable span [Start, End) used by the
 // schedule constructors.
 type Interval struct {
@@ -21,7 +33,7 @@ type Interval struct {
 // Intervals must be sorted, non-overlapping, and within [0, period].
 func Periodic(period float64, vulnerable []Interval) (*Piecewise, error) {
 	if period <= 0 {
-		return nil, errors.New("trace: non-positive period")
+		return nil, errNonPositivePeriod
 	}
 	segs := make([]Segment, 0, 2*len(vulnerable)+1)
 	cursor := 0.0
@@ -73,10 +85,10 @@ func Never(period float64) (*Piecewise, error) {
 // bits are compressed.
 func FromBits(bits []bool, cycleSeconds float64) (*Piecewise, error) {
 	if len(bits) == 0 {
-		return nil, errors.New("trace: empty bit trace")
+		return nil, errEmptyBitTrace
 	}
 	if cycleSeconds <= 0 {
-		return nil, errors.New("trace: non-positive cycle duration")
+		return nil, errNonPositiveCycle
 	}
 	segs := make([]Segment, 0, 64)
 	runStart := 0
@@ -103,10 +115,10 @@ func FromBits(bits []bool, cycleSeconds float64) (*Piecewise, error) {
 // of equal levels are compressed.
 func FromLevels(levels []float64, cycleSeconds float64) (*Piecewise, error) {
 	if len(levels) == 0 {
-		return nil, errors.New("trace: empty level trace")
+		return nil, errEmptyLevelTrace
 	}
 	if cycleSeconds <= 0 {
-		return nil, errors.New("trace: non-positive cycle duration")
+		return nil, errNonPositiveCycle
 	}
 	segs := make([]Segment, 0, 64)
 	runStart := 0
@@ -136,7 +148,7 @@ func FromLevels(levels []float64, cycleSeconds float64) (*Piecewise, error) {
 // multi-unit processor be treated as a single component.
 func WeightedUnion(weights []float64, traces []*Piecewise) (*Piecewise, error) {
 	if len(weights) != len(traces) || len(traces) == 0 {
-		return nil, errors.New("trace: WeightedUnion needs equal non-zero numbers of weights and traces")
+		return nil, errWeightedUnionShape
 	}
 	period := traces[0].period
 	totalW := 0.0
@@ -150,7 +162,7 @@ func WeightedUnion(weights []float64, traces []*Piecewise) (*Piecewise, error) {
 		totalW += weights[i]
 	}
 	if totalW == 0 {
-		return nil, errors.New("trace: all weights zero")
+		return nil, errAllWeightsZero
 	}
 	idx := make([]int, len(traces))
 	segs := make([]Segment, 0, len(traces[0].segs))
@@ -185,7 +197,7 @@ func WeightedUnion(weights []float64, traces []*Piecewise) (*Piecewise, error) {
 // benchmark halves).
 func Concat(traces ...*Piecewise) (*Piecewise, error) {
 	if len(traces) == 0 {
-		return nil, errors.New("trace: Concat of nothing")
+		return nil, errConcatEmpty
 	}
 	var segs []Segment
 	offset := 0.0
@@ -224,7 +236,7 @@ var _ Trace = (*LongLoop)(nil)
 // NewLongLoop builds a lazy loop trace from phases.
 func NewLongLoop(phases ...LoopPhase) (*LongLoop, error) {
 	if len(phases) == 0 {
-		return nil, errors.New("trace: LongLoop with no phases")
+		return nil, errLongLoopEmpty
 	}
 	l := &LongLoop{
 		phases: make([]LoopPhase, len(phases)),
@@ -270,6 +282,8 @@ func (l *LongLoop) Period() float64 { return l.period }
 func (l *LongLoop) AVF() float64 { return l.avf }
 
 // VulnAt locates the phase containing t and defers to the inner trace.
+//
+//soferr:hotpath
 func (l *LongLoop) VulnAt(t float64) float64 {
 	x := wrap(t, l.period)
 	i := l.findPhase(x)
@@ -326,6 +340,8 @@ func (l *LongLoop) Exposure(x float64) float64 {
 // engine's ExposureInverter capability, so day-scale combined schedules
 // sample first unmasked arrivals in closed form instead of thinning
 // billions of raw arrivals.
+//
+//soferr:hotpath
 func (l *LongLoop) InvertExposure(e float64) float64 {
 	total := l.cumExp[len(l.phases)]
 	if e < 0 {

@@ -5,6 +5,11 @@ import (
 	"fmt"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errCoarsenNil = errors.New("trace: Coarsen of nil trace")
+)
+
 // Coarsen reduces a trace to at most maxSegments equal-width segments
 // whose vulnerability is the exact time-average of the original within
 // each window. The AVF (and therefore every rate-linear quantity) is
@@ -18,7 +23,7 @@ import (
 // If the trace already fits, the original is returned unchanged.
 func Coarsen(p *Piecewise, maxSegments int) (*Piecewise, error) {
 	if p == nil {
-		return nil, errors.New("trace: Coarsen of nil trace")
+		return nil, errCoarsenNil
 	}
 	if maxSegments < 1 {
 		return nil, fmt.Errorf("trace: Coarsen needs maxSegments >= 1, got %d", maxSegments)

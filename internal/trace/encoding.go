@@ -9,6 +9,11 @@ import (
 	"math"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errBadMagic = errors.New("trace: not a trace file (bad magic)")
+)
+
 // Binary encoding of a Piecewise trace, for caching simulator output
 // between runs. Format (little endian):
 //
@@ -63,7 +68,7 @@ func ReadPiecewise(r io.Reader) (*Piecewise, error) {
 		return nil, fmt.Errorf("trace: read magic: %w", err)
 	}
 	if magic != traceMagic {
-		return nil, errors.New("trace: not a trace file (bad magic)")
+		return nil, errBadMagic
 	}
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("trace: read version: %w", err)

@@ -10,6 +10,12 @@ import (
 	"github.com/soferr/soferr/internal/numeric"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errMergedShape     = errors.New("trace: NewMergedExposure needs equal non-zero numbers of rates and traces")
+	errMergedNoFailure = errors.New("trace: NewMergedExposure with no component that can fail")
+)
+
 // MergedExposure is a system-level cumulative-hazard table: the
 // superposition of several components' thinned Poisson processes,
 // precomputed so that the first failure time of the whole series system
@@ -77,7 +83,7 @@ const maxMergedReps = 1 << 40
 // DefaultMaxMergedSegments).
 func NewMergedExposure(rates []float64, traces []*Piecewise, maxSegments int) (*MergedExposure, error) {
 	if len(rates) != len(traces) || len(traces) == 0 {
-		return nil, errors.New("trace: NewMergedExposure needs equal non-zero numbers of rates and traces")
+		return nil, errMergedShape
 	}
 	if maxSegments <= 0 {
 		maxSegments = DefaultMaxMergedSegments
@@ -100,7 +106,7 @@ func NewMergedExposure(rates []float64, traces []*Piecewise, maxSegments int) (*
 		liveRates = append(liveRates, rates[i])
 	}
 	if len(live) == 0 {
-		return nil, errors.New("trace: NewMergedExposure with no component that can fail")
+		return nil, errMergedNoFailure
 	}
 	reps, period, err := hyperperiod(live, maxSegments)
 	if err != nil {
@@ -274,6 +280,8 @@ func (m *MergedExposure) Total() float64 { return m.cumHaz[len(m.haz)] }
 
 // CumHazard returns H(x) for x in [0, Period]: the expected number of
 // system failures (unmasked arrivals across all components) in [0, x).
+//
+//soferr:hotpath
 func (m *MergedExposure) CumHazard(x float64) float64 {
 	if x <= 0 {
 		return 0
@@ -294,6 +302,8 @@ func (m *MergedExposure) CumHazard(x float64) float64 {
 // nothing, so the inverse jumps across them — failures only land at
 // instants where some component is vulnerable. One binary search over
 // the prefix sums makes this O(log S).
+//
+//soferr:hotpath
 func (m *MergedExposure) Invert(h float64) float64 {
 	total := m.cumHaz[len(m.haz)]
 	if h < 0 {

@@ -5,6 +5,11 @@ import (
 	"math"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errShiftNil = errors.New("trace: Shift of nil trace")
+)
+
 // Shift returns a copy of p whose pattern is delayed by offset seconds:
 // the new trace's vulnerability at time t equals p's at time t - offset.
 // Offsets of any sign are accepted and wrapped into one period.
@@ -17,7 +22,7 @@ import (
 // (see the phased-cluster tests and example).
 func Shift(p *Piecewise, offset float64) (*Piecewise, error) {
 	if p == nil {
-		return nil, errors.New("trace: Shift of nil trace")
+		return nil, errShiftNil
 	}
 	period := p.period
 	off := math.Mod(offset, period)

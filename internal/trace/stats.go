@@ -5,6 +5,11 @@ import (
 	"math"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errStatsNil = errors.New("trace: ComputeStats of nil trace")
+)
+
 // Stats summarizes the temporal structure of a masking trace. The
 // quantities matter because every AVF+SOFR failure mode in the paper is
 // driven not by the AVF itself but by *how* vulnerability is arranged
@@ -38,7 +43,7 @@ type Stats struct {
 // ComputeStats analyzes a materialized trace.
 func ComputeStats(p *Piecewise) (Stats, error) {
 	if p == nil {
-		return Stats{}, errors.New("trace: ComputeStats of nil trace")
+		return Stats{}, errStatsNil
 	}
 	st := Stats{
 		Period:   p.period,

@@ -13,6 +13,8 @@
 //
 // The time-average of the vulnerability over one period is exactly the
 // component's AVF (Section 2.2).
+//
+//soferr:deterministic
 package trace
 
 import (
@@ -23,6 +25,11 @@ import (
 	"sync/atomic"
 
 	"github.com/soferr/soferr/internal/numeric"
+)
+
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errNoSegments = errors.New("trace: no segments")
 )
 
 // Trace is an infinitely repeating masking pattern.
@@ -98,7 +105,7 @@ var _ Trace = (*Piecewise)(nil)
 // are merged.
 func NewPiecewise(segs []Segment) (*Piecewise, error) {
 	if len(segs) == 0 {
-		return nil, errors.New("trace: no segments")
+		return nil, errNoSegments
 	}
 	if segs[0].Start != 0 {
 		return nil, fmt.Errorf("trace: first segment starts at %v, want 0", segs[0].Start)
@@ -157,6 +164,8 @@ func (p *Piecewise) Segments() []Segment {
 func (p *Piecewise) NumSegments() int { return len(p.segs) }
 
 // VulnAt returns the vulnerability at absolute time t.
+//
+//soferr:hotpath
 func (p *Piecewise) VulnAt(t float64) float64 {
 	x := wrap(t, p.period)
 	i := p.find(x)
@@ -204,6 +213,8 @@ func (p *Piecewise) TotalExposure() float64 { return p.cumExp[len(p.segs)] }
 // unmasked arrival in closed form (package montecarlo's Inverted
 // engine): the thinned arrival process has cumulative hazard
 // rate*m(t), so equating it to an Exp(1) draw reduces to inverting m.
+//
+//soferr:hotpath
 func (p *Piecewise) InvertExposure(e float64) float64 {
 	total := p.cumExp[len(p.segs)]
 	if e < 0 {

@@ -8,6 +8,11 @@ import (
 	"github.com/soferr/soferr/internal/mem"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errEmptyProgram = errors.New("turandot: empty program")
+)
+
 // Sim is a trace-driven out-of-order timing simulator. Create one with
 // New and call Run once per program; a Sim is not safe for concurrent
 // use.
@@ -63,7 +68,7 @@ const maxCyclesPerInst = 1000
 // including the per-cycle masking information of Section 4.1.
 func (s *Sim) Run(prog []isa.Inst) (*Result, error) {
 	if len(prog) == 0 {
-		return nil, errors.New("turandot: empty program")
+		return nil, errEmptyProgram
 	}
 	for i := range prog {
 		if err := prog[i].Validate(); err != nil {

@@ -8,6 +8,11 @@ import (
 	"github.com/soferr/soferr/internal/units"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errCombinedShape = errors.New("workload: Combined needs two benchmark traces")
+)
+
 // The three synthesized long-horizon workloads of Section 4.2. Their
 // loop sizes (24 hours, one week) are what stress the AVF+SOFR
 // assumptions: utilization varies over time scales far beyond anything
@@ -31,7 +36,7 @@ func Week() (*trace.Piecewise, error) {
 // sub-second periods, so the result is represented lazily.
 func Combined(a, b *trace.Piecewise) (*trace.LongLoop, error) {
 	if a == nil || b == nil {
-		return nil, errors.New("workload: Combined needs two benchmark traces")
+		return nil, errCombinedShape
 	}
 	const half = units.SecondsPerDay / 2
 	if a.Period() > half || b.Period() > half {

@@ -15,6 +15,8 @@
 // per-stream increment, the same construction as the reference PCG
 // family. Seeding and splitting use SplitMix64 so that small or
 // correlated user seeds still produce well-mixed streams.
+//
+//soferr:deterministic
 package xrand
 
 import (
@@ -41,6 +43,8 @@ func New(seed uint64) *Rand {
 // It exists so hot loops that need one fresh stream per iteration (the
 // Monte-Carlo trial loop derives a stream per trial index) can reuse a
 // single Rand value instead of allocating one per iteration.
+//
+//soferr:hotpath
 func (r *Rand) Reseed(seed uint64) {
 	sm := seed
 	r.state = splitmix64(&sm)
@@ -63,6 +67,8 @@ func (r *Rand) Split() *Rand {
 }
 
 // next32 returns the next 32 raw bits (PCG-XSH-RR output function).
+//
+//soferr:hotpath
 func (r *Rand) next32() uint32 {
 	old := r.state
 	r.state = old*6364136223846793005 + r.inc
@@ -72,6 +78,8 @@ func (r *Rand) next32() uint32 {
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.
+//
+//soferr:hotpath
 func (r *Rand) Uint64() uint64 {
 	hi := uint64(r.next32())
 	lo := uint64(r.next32())
@@ -82,12 +90,16 @@ func (r *Rand) Uint64() uint64 {
 func (r *Rand) Uint32() uint32 { return r.next32() }
 
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+//
+//soferr:hotpath
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Float64Open returns a uniform value in (0, 1): never exactly zero, so
 // it is safe as the argument of a logarithm.
+//
+//soferr:hotpath
 func (r *Rand) Float64Open() float64 {
 	for {
 		f := r.Float64()
@@ -116,6 +128,8 @@ func (r *Rand) Intn(n int) int {
 
 // Exp returns an exponentially distributed value with the given rate
 // (mean 1/rate). It panics if rate <= 0 or is not finite.
+//
+//soferr:hotpath
 func (r *Rand) Exp(rate float64) float64 {
 	if rate <= 0 || math.IsInf(rate, 0) || math.IsNaN(rate) {
 		panic("xrand: Exp with non-positive or non-finite rate")

@@ -14,6 +14,12 @@ import (
 	"github.com/soferr/soferr/internal/workload"
 )
 
+// Sentinel errors of this package; callers branch with errors.Is.
+var (
+	errUnionEmpty = errors.New("soferr: union of no components")
+	errNilTrace   = errors.New("soferr: nil trace")
+)
+
 // Trace is a masking trace: an infinitely repeating description of when
 // a raw soft error striking a component would be masked. All times are
 // seconds; the instantaneous vulnerability is a probability in [0, 1],
@@ -110,7 +116,7 @@ func CombinedWorkload(a, b Trace) (Trace, error) {
 // component carries the summed rate.
 func UnionTrace(components []Component) (Component, error) {
 	if len(components) == 0 {
-		return Component{}, errors.New("soferr: union of no components")
+		return Component{}, errUnionEmpty
 	}
 	weights := make([]float64, len(components))
 	pieces := make([]*trace.Piecewise, len(components))
@@ -153,7 +159,7 @@ func AVF(tr Trace) float64 { return tr.AVF() }
 // errors/year.
 func AVFMTTF(ratePerYear float64, tr Trace) (float64, error) {
 	if tr == nil {
-		return 0, errors.New("soferr: nil trace")
+		return 0, errNilTrace
 	}
 	return avf.MTTF(units.PerYearToPerSecond(ratePerYear), tr.AVF())
 }
@@ -222,6 +228,8 @@ type MonteCarloResult struct {
 // NewSystem(components) + MTTF(ctx, MonteCarlo, ...). Build a System
 // directly to amortize compilation and caching across queries, and for
 // cancellation.
+//
+//soferr:allow ctxflow documented ctx-less convenience wrapper over a single-use System; callers needing cancellation build a System
 func MonteCarloMTTF(components []Component, opt MonteCarloOptions) (MonteCarloResult, error) {
 	sys, err := NewSystem(components)
 	if err != nil {
@@ -241,6 +249,8 @@ func MonteCarloMTTF(components []Component, opt MonteCarloOptions) (MonteCarloRe
 //
 // It is the convenience path over a single-use System; see NewSystem
 // for the build-once/query-many surface.
+//
+//soferr:allow ctxflow documented ctx-less convenience wrapper over a single-use System; callers needing cancellation build a System
 func SoftArchMTTF(components []Component) (float64, error) {
 	sys, err := NewSystem(components)
 	if err != nil {

@@ -1,0 +1,64 @@
+package soferr_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/soferr/soferr"
+)
+
+// FuzzSpecDecode drives arbitrary bytes through the Spec JSON boundary
+// — the same path every config file and HTTP request takes — and
+// checks the decode contract: no panic anywhere, Hash is stable and
+// well-formed, and a decoded Spec survives a marshal/unmarshal
+// round-trip with its hash and validity intact.
+func FuzzSpecDecode(f *testing.F) {
+	seeds := []string{
+		`{"components":[{"rate_per_year":1e-8,"trace":{"kind":"busyidle","period_seconds":1,"busy_seconds":0.5}}]}`,
+		`{"name":"cluster","components":[{"name":"node","rate_per_year":2e-8,"count":64,"trace":{"kind":"week"}}]}`,
+		`{"components":[{"rate_per_year":1,"trace":{"kind":"periodic","period_seconds":2,"intervals":[{"start":0,"end":1}]}}]}`,
+		`{"components":[{"rate_per_year":1,"trace":{"kind":"benchmark","benchmark":"gzip","unit":"regfile","instructions":1000,"sim_seed":7}}]}`,
+		`{"components":[{"rate_per_year":1,"trace":{"kind":"combined","a":{"kind":"benchmark","benchmark":"gzip"},"b":{"kind":"benchmark","benchmark":"swim"}}}]}`,
+		`{"components":[]}`,
+		`{"components":[{"rate_per_year":-1,"trace":{"kind":"busyidle","period_seconds":0}}]}`,
+		`{"components":[{"rate_per_year":1,"trace":{"kind":"nosuchkind"}}]}`,
+		`null`,
+		`{"components":`,
+		"{\"name\":\"caf\u00e9 \\ufffd\",\"components\":[{\"trace\":{\"kind\":\"day\"}}]}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s soferr.Spec
+		if err := json.Unmarshal(data, &s); err != nil {
+			t.Skip()
+		}
+		h := s.Hash()
+		if !strings.HasPrefix(h, "sha256:") || len(h) != len("sha256:")+64 {
+			t.Fatalf("Hash() = %q, want sha256: plus 64 hex digits", h)
+		}
+		if h2 := s.Hash(); h2 != h {
+			t.Fatalf("Hash() unstable: %q then %q", h, h2)
+		}
+		verr := s.Validate() // must not panic, valid or not
+
+		out, err := json.Marshal(s)
+		if err != nil {
+			// Only non-finite floats fail to marshal, and JSON input
+			// cannot produce them.
+			t.Fatalf("marshal of decoded spec failed: %v", err)
+		}
+		var s2 soferr.Spec
+		if err := json.Unmarshal(out, &s2); err != nil {
+			t.Fatalf("re-decode of marshaled spec failed: %v", err)
+		}
+		if h2 := s2.Hash(); h2 != h {
+			t.Fatalf("hash changed across marshal round-trip: %q then %q", h, h2)
+		}
+		if verr2 := s2.Validate(); (verr == nil) != (verr2 == nil) {
+			t.Fatalf("validity changed across marshal round-trip: %v then %v", verr, verr2)
+		}
+	})
+}
