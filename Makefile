@@ -34,13 +34,14 @@ verify: vet build test
 
 # bench records the Monte-Carlo engine micro-benchmarks in
 # BENCH_mc.json, the fused engine's N-scaling and adaptive-precision
-# numbers in BENCH_fused.json, the sweep engine's full-grid speedup in
-# BENCH_sweep.json, and the query server's cold-vs-cache-hit request
-# latency in BENCH_serve.json, so the perf trajectory is tracked PR
-# over PR. Every report is validated against the shared schema
-# (internal/benchfmt) after writing.
+# numbers in BENCH_fused.json, the exact engine's closed-form-vs-
+# adaptive-sampling comparison in BENCH_exact.json, the sweep engine's
+# full-grid speedup in BENCH_sweep.json, and the query server's
+# cold-vs-cache-hit request latency in BENCH_serve.json, so the perf
+# trajectory is tracked PR over PR. Every report is validated against
+# the shared schema (internal/benchfmt) after writing.
 bench:
-	$(GO) run ./cmd/soferr bench -out BENCH_mc.json -fused-out BENCH_fused.json -sweep-out BENCH_sweep.json -serve-out BENCH_serve.json
+	$(GO) run ./cmd/soferr bench -out BENCH_mc.json -fused-out BENCH_fused.json -exact-out BENCH_exact.json -sweep-out BENCH_sweep.json -serve-out BENCH_serve.json
 	$(GO) run ./cmd/soferr bench -validate
 
 # serve runs the MTTF query service locally (POST a Spec to /v1/mttf;
@@ -68,6 +69,7 @@ lint:
 # local sessions: go test -fuzz FuzzSpecDecode -fuzztime 5m .
 fuzz-smoke:
 	$(GO) test -run FuzzSpecDecode -fuzz FuzzSpecDecode -fuzztime 15s .
+	$(GO) test -run FuzzExactEngine -fuzz FuzzExactEngine -fuzztime 15s .
 	$(GO) test -run FuzzMergedExposure -fuzz FuzzMergedExposure -fuzztime 15s ./internal/trace
 
 # bench-go runs the full go-test benchmark suite (experiments +

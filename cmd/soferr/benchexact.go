@@ -1,0 +1,214 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/soferr/soferr"
+	"github.com/soferr/soferr/internal/montecarlo"
+	"github.com/soferr/soferr/internal/units"
+)
+
+// exactScalingEntry records, at one component count N, the cost of one
+// exact closed-form query (cold: compile plus table build plus query;
+// query: through the run path on tabulated state) against an adaptive
+// Fused run targeting 1% relative standard error on the same system.
+type exactScalingEntry struct {
+	Components   int     `json:"components"`
+	ExactColdNs  float64 `json:"exact_cold_ns"`
+	ExactQueryNs float64 `json:"exact_query_ns"`
+	AdaptiveNs   float64 `json:"adaptive_fused_ns"`
+	// Speedup is per query once the system is tabulated — the cost
+	// sweeps and the serving tier pay, and the apples-to-apples figure:
+	// Fused amortizes the same one-time merged-table build, but then
+	// pays the full sampling run on EVERY query (each seed/target
+	// variation is a fresh run), while exact answers from the closed
+	// form.
+	Speedup float64 `json:"speedup_exact_vs_adaptive"`
+	// ColdSpeedup charges exact the full compile+tabulate+query cost
+	// for a single one-shot query against one adaptive run.
+	ColdSpeedup float64 `json:"speedup_cold_vs_adaptive"`
+}
+
+// exactSpecReport is the acceptance profile: the paper's SPEC gzip
+// trace at 1e6 errors/year, exact vs adaptive Fused at a 1% target.
+type exactSpecReport struct {
+	Target       float64 `json:"target_rel_stderr"`
+	ExactColdNs  float64 `json:"exact_cold_ns"`
+	ExactQueryNs float64 `json:"exact_query_ns"`
+	AdaptiveNs   float64 `json:"adaptive_fused_ns"`
+	// Speedup is per query on tabulated state (see exactScalingEntry);
+	// ColdSpeedup charges exact the one-time tabulation too.
+	Speedup      float64 `json:"speedup_exact_vs_adaptive"`
+	ColdSpeedup  float64 `json:"speedup_cold_vs_adaptive"`
+	ExactMTTF    float64 `json:"exact_mttf_seconds"`
+	AdaptiveMTTF float64 `json:"adaptive_mttf_seconds"`
+	// RelGap is |adaptive-exact|/exact: the sampling error the exact
+	// engine removes, which should be within a few targets of zero.
+	RelGap float64 `json:"rel_gap"`
+}
+
+// exactBenchReport is the schema of BENCH_exact.json.
+type exactBenchReport struct {
+	GoVersion string              `json:"go_version"`
+	GOARCH    string              `json:"goarch"`
+	Scaling   []exactScalingEntry `json:"scaling"`
+	Spec      exactSpecReport     `json:"spec_trace"`
+}
+
+// runExactBench measures the exact engine's headline claim — answers in
+// microseconds with zero variance where adaptive sampling needs
+// milliseconds to reach 1% — and writes BENCH_exact.json.
+func runExactBench(ctx context.Context, stdout, stderr io.Writer, outPath string, verbose bool) error {
+	logf := func(format string, args ...interface{}) {
+		if verbose {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	report := exactBenchReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+	}
+	const target = 0.01
+
+	for _, n := range []int{1, 4, 16, 64, 256} {
+		comps := fusedBenchComponents(n)
+		entry := exactScalingEntry{Components: n}
+
+		logf("bench exact cold N=%d", n)
+		rCold := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				compiled, err := montecarlo.Compile(comps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := compiled.ExactMTTF(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		compiled, err := montecarlo.Compile(comps)
+		if err != nil {
+			return err
+		}
+		if _, err := compiled.ExactMTTF(); err != nil {
+			return err
+		}
+		logf("bench exact warm N=%d", n)
+		rWarm := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := compiled.MTTF(ctx, montecarlo.Config{Engine: montecarlo.Exact}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		logf("bench exact adaptive-fused N=%d", n)
+		rAd := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := compiled.MTTF(ctx, montecarlo.Config{
+					Seed: uint64(i + 1), Engine: montecarlo.Fused, TargetRelStdErr: target,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if rCold.N == 0 || rWarm.N == 0 || rAd.N == 0 {
+			return fmt.Errorf("bench exact scaling N=%d: benchmark produced no iterations", n)
+		}
+		entry.ExactColdNs = float64(rCold.T.Nanoseconds()) / float64(rCold.N)
+		entry.ExactQueryNs = float64(rWarm.T.Nanoseconds()) / float64(rWarm.N)
+		entry.AdaptiveNs = float64(rAd.T.Nanoseconds()) / float64(rAd.N)
+		entry.Speedup = entry.AdaptiveNs / entry.ExactQueryNs
+		entry.ColdSpeedup = entry.AdaptiveNs / entry.ExactColdNs
+		report.Scaling = append(report.Scaling, entry)
+		fmt.Fprintf(stdout, "%-22s N=%-4d exact cold %10.1f ns  query %8.1f ns  adaptive-fused %12.1f ns  %9.0fx (cold %.1fx)\n",
+			"ExactScaling", n, entry.ExactColdNs, entry.ExactQueryNs, entry.AdaptiveNs, entry.Speedup, entry.ColdSpeedup)
+	}
+
+	// The acceptance profile: the SPEC gzip processor trace at 1e6
+	// errors/year, as the fused adaptive benchmark uses.
+	logf("simulating gzip for the exact SPEC profile")
+	simRes, err := soferr.SimulateBenchmark("gzip", 50000, 1)
+	if err != nil {
+		return err
+	}
+	specComps := []montecarlo.Component{{
+		Name: "int", Rate: units.PerYearToPerSecond(1e6), Trace: simRes.Int,
+	}}
+	spec := exactSpecReport{Target: target}
+	logf("bench exact spec cold")
+	rCold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compiled, err := montecarlo.Compile(specComps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := compiled.ExactMTTF(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	compiled, err := montecarlo.Compile(specComps)
+	if err != nil {
+		return err
+	}
+	spec.ExactMTTF, err = compiled.ExactMTTF()
+	if err != nil {
+		return err
+	}
+	logf("bench exact spec query")
+	rWarm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := compiled.MTTF(ctx, montecarlo.Config{Engine: montecarlo.Exact}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	logf("bench exact spec adaptive-fused")
+	var adRes montecarlo.Result
+	rAd := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := compiled.MTTF(ctx, montecarlo.Config{
+				Seed: uint64(i + 1), Engine: montecarlo.Fused, TargetRelStdErr: target,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			adRes = res
+		}
+	})
+	if rCold.N == 0 || rWarm.N == 0 || rAd.N == 0 {
+		return fmt.Errorf("bench exact spec: benchmark produced no iterations")
+	}
+	spec.ExactColdNs = float64(rCold.T.Nanoseconds()) / float64(rCold.N)
+	spec.ExactQueryNs = float64(rWarm.T.Nanoseconds()) / float64(rWarm.N)
+	spec.AdaptiveNs = float64(rAd.T.Nanoseconds()) / float64(rAd.N)
+	spec.Speedup = spec.AdaptiveNs / spec.ExactQueryNs
+	spec.ColdSpeedup = spec.AdaptiveNs / spec.ExactColdNs
+	spec.AdaptiveMTTF = adRes.MTTF
+	spec.RelGap = math.Abs(adRes.MTTF-spec.ExactMTTF) / spec.ExactMTTF
+	report.Spec = spec
+	fmt.Fprintf(stdout, "%-22s exact query %0.1f ns (cold %0.1f us) vs adaptive-fused (RSE<=%g) %0.1f us: %.0fx per query (cold %.1fx), rel gap %.2e\n",
+		"ExactSpec", spec.ExactQueryNs, spec.ExactColdNs/1e3, target, spec.AdaptiveNs/1e3, spec.Speedup, spec.ColdSpeedup, spec.RelGap)
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", outPath)
+	}
+	return nil
+}

@@ -30,7 +30,7 @@
 //	-trials N        run: Monte-Carlo trials per point (default 200000)
 //	-instructions N  simulated instructions per benchmark (default 300000)
 //	-seed N          deterministic seed (default 1)
-//	-engine NAME     run: Monte-Carlo engine: fused (default), inverted, superposed, naive
+//	-engine NAME     run: Monte-Carlo engine: fused (default), exact, inverted, superposed, naive
 //	-target-rse T    run <spec.json>: adaptive precision target (rel stderr; -trials caps it)
 //	-methods LIST    run <spec.json>: methods to compare (default all)
 //	-quick           run: shrink grids and trial counts
@@ -53,6 +53,7 @@
 //
 //	-out FILE        Monte-Carlo JSON report path (default BENCH_mc.json)
 //	-fused-out FILE  fused-engine JSON report path (default BENCH_fused.json)
+//	-exact-out FILE  exact-engine JSON report path (default BENCH_exact.json)
 //	-sweep-out FILE  sweep-engine JSON report path (default BENCH_sweep.json)
 //	-serve-out FILE  query-server JSON report path (default BENCH_serve.json)
 //	-validate [FILES] validate BENCH_*.json files against the shared schema
@@ -107,7 +108,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		trials       = fs.Int("trials", 0, "Monte-Carlo trials per point (0 = default)")
 		instructions = fs.Int("instructions", 0, "instructions per simulated benchmark (0 = default)")
 		seed         = fs.Uint64("seed", 1, "deterministic seed")
-		engineName   = fs.String("engine", "", "Monte-Carlo engine: fused, inverted, superposed, or naive")
+		engineName   = fs.String("engine", "", "Monte-Carlo engine: fused, exact, inverted, superposed, or naive")
 		targetRSE    = fs.Float64("target-rse", 0, "run <spec.json>: adaptive precision target (relative standard error; trials become the cap)")
 		methodsFlag  = fs.String("methods", "", "run <spec.json>: comma-separated methods to compare (default all)")
 		quick        = fs.Bool("quick", false, "shrink grids and trial counts")
@@ -246,6 +247,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		sweepOut := bfs.String("sweep-out", "BENCH_sweep.json", "sweep-engine JSON report path (empty to skip writing)")
 		serveOut := bfs.String("serve-out", "BENCH_serve.json", "query-server JSON report path (empty to skip writing)")
 		fusedOut := bfs.String("fused-out", "BENCH_fused.json", "fused-engine JSON report path (empty to skip writing)")
+		exactOut := bfs.String("exact-out", "BENCH_exact.json", "exact-engine JSON report path (empty to skip writing)")
 		validate := bfs.Bool("validate", false, "validate the listed BENCH_*.json files against the shared schema instead of benchmarking")
 		benchVerbose := bfs.Bool("v", false, "log progress to stderr")
 		if err := bfs.Parse(rest); err != nil {
@@ -261,6 +263,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		if err := runFusedBench(ctx, stdout, stderr, *fusedOut, *benchVerbose); err != nil {
+			return err
+		}
+		if err := runExactBench(ctx, stdout, stderr, *exactOut, *benchVerbose); err != nil {
 			return err
 		}
 		if err := runSweepBench(ctx, stdout, stderr, *sweepOut, *benchVerbose); err != nil {
@@ -284,7 +289,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 // directory.
 func validateBenchReports(stdout io.Writer, paths []string) error {
 	if len(paths) == 0 {
-		paths = []string{"BENCH_mc.json", "BENCH_fused.json", "BENCH_sweep.json", "BENCH_serve.json"}
+		paths = []string{"BENCH_mc.json", "BENCH_fused.json", "BENCH_exact.json", "BENCH_sweep.json", "BENCH_serve.json"}
 	}
 	for _, path := range paths {
 		if err := benchfmt.ValidateFile(path); err != nil {
@@ -333,10 +338,10 @@ commands:
   serve        serve MTTF queries over HTTP (POST a Spec to /v1/mttf, /v1/sweep, ...)
   workloads    simulate every benchmark; print stats and AVFs
   config       print the Table 1 machine configuration
-  bench        micro-benchmark the engines; write BENCH_mc.json + BENCH_fused.json + BENCH_sweep.json + BENCH_serve.json
+  bench        micro-benchmark the engines; write BENCH_mc.json + BENCH_fused.json + BENCH_exact.json + BENCH_sweep.json + BENCH_serve.json
 
 flags for run:
-  -trials N -instructions N -seed N -engine fused|inverted|superposed|naive -target-rse T -methods LIST -quick -csv -json -v
+  -trials N -instructions N -seed N -engine fused|exact|inverted|superposed|naive -target-rse T -methods LIST -quick -csv -json -v
 flags for sweep:
   -workloads day,week,combined -duty LIST -period S -bench LIST
   -ns LIST -rates LIST -counts LIST -methods LIST
@@ -347,6 +352,6 @@ flags for serve:
 flags for workloads:
   -instructions N -seed N
 flags for bench:
-  -out FILE -fused-out FILE -sweep-out FILE -serve-out FILE -validate [FILES] -v
+  -out FILE -fused-out FILE -exact-out FILE -sweep-out FILE -serve-out FILE -validate [FILES] -v
 `)
 }

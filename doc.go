@@ -25,10 +25,12 @@
 //     (AVFSOFR, MonteCarlo, SoftArch), compare methods on identical
 //     state (Compare), and ask distribution-level questions the flat
 //     API cannot express (Reliability, FailureQuantile). Monte-Carlo
-//     queries choose among four engines (WithEngine) — including Fused,
+//     queries choose among five engines (WithEngine) — including Fused,
 //     which samples the whole system from one merged cumulative-hazard
-//     table in O(log S) per trial regardless of the component count —
-//     and can target a precision instead of a trial count
+//     table in O(log S) per trial regardless of the component count,
+//     and Exact, which integrates that same table in closed form (zero
+//     trials, zero stderr; ErrExactUnavailable where no tabulation
+//     exists) — and can target a precision instead of a trial count
 //     (WithTargetRelStdErr): trials run in deterministic doubling
 //     rounds until the relative standard error meets the target.
 //   - A design-space sweep engine (Sweep, SweepStream, SweepCells): a

@@ -232,7 +232,7 @@ func TestNameParsingCaseInsensitive(t *testing.T) {
 	if _, err := soferr.EngineByName("quantum"); err == nil {
 		t.Error("unknown engine accepted")
 	} else if !strings.Contains(err.Error(), `"quantum"`) ||
-		!strings.Contains(err.Error(), "superposed, naive, inverted, or fused") {
+		!strings.Contains(err.Error(), "superposed, naive, inverted, fused, or exact") {
 		t.Errorf("unknown-engine message unhelpful: %v", err)
 	}
 }

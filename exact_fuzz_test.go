@@ -1,0 +1,120 @@
+package soferr_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/soferr/soferr"
+)
+
+// fuzzMaxInstructions bounds per-case benchmark simulation so the
+// fuzzer spends its budget on engine states, not on cycle simulation.
+const fuzzMaxInstructions = 50000
+
+// FuzzExactEngine: any valid Spec, queried through the Exact engine,
+// must either refuse with the typed ErrExactUnavailable sentinel or
+// return a non-NaN, non-negative (finite or +Inf) estimate with the
+// deterministic contract (zero stderr/trials/seed) that satisfies the
+// Reliability/Quantile invariants. Silent nonsense — NaN MTTFs,
+// untyped errors, reliabilities outside [0, 1], quantiles the CDF
+// contradicts — is the failure mode this hunts.
+func FuzzExactEngine(f *testing.F) {
+	seeds := []string{
+		`{"components":[{"rate_per_year":1e6,"trace":{"kind":"busyidle","period_seconds":10,"busy_seconds":4}}]}`,
+		`{"components":[{"rate_per_year":3e5,"trace":{"kind":"busyidle","period_seconds":6,"busy_seconds":2}},{"rate_per_year":1e5,"trace":{"kind":"busyidle","period_seconds":8,"busy_seconds":5}}]}`,
+		`{"components":[{"rate_per_year":1e6,"trace":{"kind":"busyidle","period_seconds":10,"busy_seconds":4}},{"rate_per_year":1e6,"trace":{"kind":"busyidle","period_seconds":3.141592653589793,"busy_seconds":1}}]}`,
+		`{"components":[{"rate_per_year":1e8,"trace":{"kind":"combined","a":{"kind":"benchmark","benchmark":"gzip","instructions":2000},"b":{"kind":"benchmark","benchmark":"swim","instructions":2000}}},{"rate_per_year":1e8,"trace":{"kind":"benchmark","benchmark":"gzip","instructions":2000}}]}`,
+		`{"components":[{"rate_per_year":0,"trace":{"kind":"busyidle","period_seconds":1,"busy_seconds":0.5}}]}`,
+		`{"components":[{"rate_per_year":5e5,"count":4,"trace":{"kind":"periodic","period_seconds":12,"intervals":[{"start":1,"end":3},{"start":8,"end":11}]}}]}`,
+		`{"components":[{"rate_per_year":1e300,"trace":{"kind":"busyidle","period_seconds":1e-6,"busy_seconds":1e-6}}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	// One compiler for the whole run so benchmark simulations are
+	// cached across cases; small default instruction count for specs
+	// that do not set their own.
+	compiler := &soferr.Compiler{Instructions: 10000}
+	ctx := context.Background()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s soferr.Spec
+		if err := json.Unmarshal(data, &s); err != nil {
+			t.Skip()
+		}
+		if err := s.Validate(); err != nil {
+			t.Skip()
+		}
+		for _, c := range s.Components {
+			for _, ts := range []*soferr.TraceSpec{&c.Trace, c.Trace.A, c.Trace.B} {
+				if ts != nil && ts.Instructions > fuzzMaxInstructions {
+					t.Skip()
+				}
+			}
+		}
+		sys, err := compiler.Compile(s)
+		if err != nil {
+			t.Skip() // structurally valid but semantically rejected
+		}
+
+		est, err := sys.MTTF(ctx, soferr.MonteCarlo, soferr.WithEngine(soferr.Exact))
+		if err != nil {
+			if errors.Is(err, soferr.ErrExactUnavailable) {
+				return // the typed refusal is the other legal outcome
+			}
+			t.Fatalf("exact MTTF failed with untyped error: %v", err)
+		}
+		if math.IsNaN(est.MTTF) || est.MTTF < 0 {
+			t.Fatalf("exact MTTF = %v", est.MTTF)
+		}
+		if est.StdErr != 0 || est.Trials != 0 || est.Seed != 0 || est.Engine != soferr.Exact {
+			t.Fatalf("exact estimate breaks the deterministic contract: %+v", est)
+		}
+
+		r0, err := sys.Reliability(ctx, 0)
+		if err != nil {
+			t.Fatalf("Reliability(0) after successful exact MTTF: %v", err)
+		}
+		if r0 != 1 {
+			t.Fatalf("Reliability(0) = %v, want exactly 1", r0)
+		}
+		q, err := sys.FailureQuantile(ctx, 0.5)
+		if err != nil {
+			t.Fatalf("FailureQuantile(0.5) after successful exact MTTF: %v", err)
+		}
+		if math.IsInf(est.MTTF, 1) {
+			if !math.IsInf(q, 1) {
+				t.Fatalf("never-failing system has median %v, want +Inf", q)
+			}
+			return
+		}
+		if !(est.MTTF > 0) {
+			return // degenerate instantly-failing limit; no CDF to probe
+		}
+		if math.IsNaN(q) || q < 0 {
+			t.Fatalf("median failure time = %v", q)
+		}
+		rHalf, err := sys.Reliability(ctx, q/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, err := sys.Reliability(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rq < 0 || rq > 1 || rHalf < 0 || rHalf > 1 {
+			t.Fatalf("reliability outside [0, 1]: R(q/2) = %v, R(q) = %v", rHalf, rq)
+		}
+		if rq > rHalf {
+			t.Fatalf("reliability not monotone: R(%v) = %v > R(%v) = %v", q, rq, q/2, rHalf)
+		}
+		// Right-continuity of the generalized inverse: F(Q(p)) >= p.
+		if got := 1 - rq; got < 0.5-1e-9 {
+			t.Fatalf("F(median) = %v < 0.5", got)
+		}
+	})
+}

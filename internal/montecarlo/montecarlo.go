@@ -6,7 +6,7 @@
 // its earliest component fails. The average over trials is the MTTF, and
 // no AVF or SOFR assumption is involved.
 //
-// Four engines are provided:
+// Five engines are provided:
 //
 //   - The naive engine simulates every component separately and takes
 //     the minimum, mirroring the paper's description literally.
@@ -35,6 +35,15 @@
 //     draw plus one binary search — O(log S_total) per trial,
 //     independent of the component count N that the inverted engine
 //     still loops over.
+//   - The exact engine is not a sampler at all: it integrates the
+//     merged hazard table once — segment-wise closed-form
+//     int exp(-H(t)) dt within one hyperperiod, geometric tail
+//     exp(-H(P)) across hyperperiods — and answers MTTF, Reliability,
+//     and FailureQuantile with no RNG, no trials, and zero standard
+//     error. Systems the table cannot represent (incommensurate
+//     periods, over-cap merges, lazy traces alongside others) are
+//     refused with the typed ErrExactUnavailable so callers can fall
+//     back to a sampling engine.
 //
 // The engines are property-tested against each other and against the
 // closed forms in package analytic.
@@ -98,6 +107,13 @@ const (
 	// traces, incommensurate periods) fall back to per-component
 	// sampling inside the same trial, exactly as Inverted would.
 	Fused
+	// Exact integrates the merged cumulative-hazard table in closed
+	// form instead of sampling it: MTTF = int_0^inf exp(-H(t)) dt,
+	// evaluated as one hyperperiod's segment-wise truncated-exponential
+	// integral times the geometric series in exp(-H(P)). Deterministic:
+	// no RNG, no trials, zero standard error. Queries on systems whose
+	// hazard cannot be tabulated return ErrExactUnavailable.
+	Exact
 )
 
 // String returns the engine's CLI name.
@@ -111,6 +127,8 @@ func (e Engine) String() string {
 		return "inverted"
 	case Fused:
 		return "fused"
+	case Exact:
+		return "exact"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -127,8 +145,10 @@ func EngineByName(name string) (Engine, error) {
 		return Inverted, nil
 	case "fused":
 		return Fused, nil
+	case "exact":
+		return Exact, nil
 	default:
-		return 0, fmt.Errorf("montecarlo: unknown engine %q (want superposed, naive, inverted, or fused)", name)
+		return 0, fmt.Errorf("montecarlo: unknown engine %q (want superposed, naive, inverted, fused, or exact)", name)
 	}
 }
 
@@ -222,6 +242,13 @@ type Compiled struct {
 	// never pay for.
 	fusedOnce sync.Once
 	fused     *fusedState
+
+	// exact is the Exact engine's closed-form integration state. It is
+	// built separately from fused because the two handle merge refusal
+	// oppositely: the Fused sampler silently degrades to per-component
+	// draws, while the Exact integrator must surface the typed error.
+	exactOnce sync.Once
+	exact     *exactState
 }
 
 // Compile validates components and precomputes the per-engine shared
@@ -314,6 +341,21 @@ func (c *Compiled) run(ctx context.Context, cfg Config, collect bool) (Result, [
 	}
 	if cfg.TargetRelStdErr < 0 || math.IsNaN(cfg.TargetRelStdErr) {
 		return Result{}, nil, fmt.Errorf("montecarlo: invalid TargetRelStdErr %v", cfg.TargetRelStdErr)
+	}
+
+	if cfg.Engine == Exact {
+		// The Exact engine runs no trials: the answer is the closed-form
+		// integral, independent of Trials, Seed, Workers, and
+		// TargetRelStdErr. Sample collection is impossible without an
+		// RNG, so TTFSamples refuses with a typed error.
+		if collect {
+			return Result{}, nil, ErrExactNoSamples
+		}
+		mttf, err := c.ExactMTTF()
+		if err != nil {
+			return Result{}, nil, err
+		}
+		return Result{MTTF: mttf}, nil, nil
 	}
 
 	trials := cfg.Trials

@@ -327,6 +327,12 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, soferr.ErrExactUnavailable):
+		// The client asked the exact engine about a system whose hazard
+		// cannot be tabulated (incommensurate periods, over-cap merge,
+		// lazy trace mixtures): semantically unanswerable as asked, not
+		// a server fault. Retrying with a sampling engine succeeds.
+		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError
 	}

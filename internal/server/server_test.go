@@ -614,3 +614,84 @@ func readAll(t *testing.T, resp *http.Response) []byte {
 	}
 	return buf.Bytes()
 }
+
+// TestExactEngineServed: the closed-form engine over HTTP. A
+// tabulatable spec answers 200 with the deterministic contract (zero
+// stderr/trials/seed) and, because exact queries are seed- and
+// trial-free, any sampling options on a repeat request hit the same
+// query-cache entry. An untabulatable spec (incommensurate periods) is
+// a well-typed 422, not a 500.
+func TestExactEngineServed(t *testing.T) {
+	srv := httptest.NewServer(New(Config{}))
+	defer srv.Close()
+	client := srv.Client()
+
+	spec := testSpec(1e6)
+	resp, body := post(t, client, srv.URL+"/v1/mttf", map[string]interface{}{
+		"spec": spec, "method": "montecarlo", "engine": "exact",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got mttfResponse
+	mustUnmarshal(t, body, &got)
+	if got.Estimate.Engine != soferr.Exact || got.Estimate.StdErr != 0 ||
+		got.Estimate.Trials != 0 || got.Estimate.Seed != 0 {
+		t.Errorf("served exact estimate is not deterministic: %+v", got.Estimate)
+	}
+	sys, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.MTTF(context.Background(), soferr.MonteCarlo, soferr.WithEngine(soferr.Exact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate.MTTF != want.MTTF {
+		t.Errorf("served exact MTTF = %v, direct = %v", got.Estimate.MTTF, want.MTTF)
+	}
+
+	// Different trials/seed, same exact answer, same cache entry.
+	resp, body = post(t, client, srv.URL+"/v1/mttf", map[string]interface{}{
+		"spec": spec, "method": "montecarlo", "engine": "exact", "trials": 9999, "seed": 42,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var again mttfResponse
+	mustUnmarshal(t, body, &again)
+	if !again.Estimate.Cached {
+		t.Error("exact repeat with sampling options missed the seed-free cache entry")
+	}
+	if again.Estimate.MTTF != got.Estimate.MTTF || again.Estimate.Trials != 0 || again.Estimate.Seed != 0 {
+		t.Errorf("exact cache normalization broken over HTTP: %+v", again.Estimate)
+	}
+
+	// Incommensurate periods cannot be tabulated: 422 with the typed
+	// message, on the same path every endpoint's errors flow through.
+	incomm := soferr.Spec{Components: []soferr.ComponentSpec{
+		{RatePerYear: 1e6, Trace: soferr.TraceSpec{Kind: soferr.TraceKindBusyIdle, PeriodSeconds: 10, BusySeconds: 4}},
+		{RatePerYear: 1e6, Trace: soferr.TraceSpec{Kind: soferr.TraceKindBusyIdle, PeriodSeconds: math.Pi, BusySeconds: 1}},
+	}}
+	resp, body = post(t, client, srv.URL+"/v1/mttf", map[string]interface{}{
+		"spec": incomm, "method": "montecarlo", "engine": "exact",
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("incommensurate exact: status %d, want 422 (%s)", resp.StatusCode, body)
+	}
+	var env struct {
+		Error httpError `json:"error"`
+	}
+	mustUnmarshal(t, body, &env)
+	if !strings.Contains(env.Error.Message, "exact engine") {
+		t.Errorf("422 message %q does not name the exact engine", env.Error.Message)
+	}
+
+	// The same system under a sampling engine still answers 200.
+	resp, body = post(t, client, srv.URL+"/v1/mttf", map[string]interface{}{
+		"spec": incomm, "method": "montecarlo", "engine": "fused", "trials": 2000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("incommensurate fused: status %d, want 200 (%s)", resp.StatusCode, body)
+	}
+}

@@ -296,6 +296,39 @@ func (m *MergedExposure) CumHazard(x float64) float64 {
 	return m.cumHaz[i] + (x-m.starts[i])*m.haz[i]
 }
 
+// SurvivalIntegral returns the one-hyperperiod survival integral
+//
+//	int_0^Period exp(-H(s)) ds
+//
+// in closed form: H is piecewise linear, so each constant-hazard
+// segment contributes exp(-H(start)) * (1-exp(-haz*len))/haz (or
+// exp(-H(start))*len where the hazard is zero), summed with
+// compensated accumulation. Together with Total() this is sufficient
+// for the exact system MTTF: the integrand is periodic up to the
+// geometric factor exp(-H(Period)) per hyperperiod, so
+//
+//	MTTF = SurvivalIntegral() / (1 - exp(-Total())).
+//
+// Segments past the point where exp(-H(start)) underflows to zero
+// contribute nothing and are skipped.
+func (m *MergedExposure) SurvivalIntegral() float64 {
+	var sum numeric.KahanSum
+	for i, h := range m.haz {
+		length := m.starts[i+1] - m.starts[i]
+		pre := numeric.ExpNeg(m.cumHaz[i])
+		if pre == 0 {
+			break // everything after contributes nothing
+		}
+		if h == 0 {
+			sum.Add(pre * length)
+			continue
+		}
+		// int_0^len e^(-H(start) - h*u) du = pre * (1-e^(-h*len))/h
+		sum.Add(pre * numeric.OneMinusExpNeg(h*length) / h)
+	}
+	return sum.Sum()
+}
+
 // Invert is the right-continuous generalized inverse of CumHazard: the
 // first instant x in [0, Period] at which the hazard accumulates beyond
 // h, clamped to Period for h >= Total. Zero-hazard segments accumulate

@@ -237,3 +237,82 @@ func TestMergedExposureValidation(t *testing.T) {
 		t.Errorf("Total = %v, want %v", got, want)
 	}
 }
+
+func TestMergedSurvivalIntegralMatchesComponent(t *testing.T) {
+	// One component: the merged survival integral must equal the
+	// trace's own survivalIntegral at the component's rate, which is
+	// separately validated against quadrature and Derivation 1.
+	for _, tt := range []struct {
+		name               string
+		rate, period, busy float64
+	}{
+		{"small hazard", 1e-6, 24, 8},
+		{"moderate hazard", 0.05, 10, 5},
+		{"large hazard", 2.0, 10, 9},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := mergedBusyIdle(t, tt.period, tt.busy)
+			m, err := NewMergedExposure([]float64{tt.rate}, []*Piecewise{tr}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := tr.SurvivalIntegral(tt.rate)
+			if got := m.SurvivalIntegral(); numeric.RelErr(got, want) > 1e-13 {
+				t.Errorf("merged survival integral %v, component integral %v (rel err %v)",
+					got, want, numeric.RelErr(got, want))
+			}
+		})
+	}
+}
+
+func TestMergedSurvivalIntegralQuadrature(t *testing.T) {
+	// Multi-component commensurate periods: the closed-form segment
+	// walk must match adaptive quadrature of exp(-H(t)) over one
+	// hyperperiod.
+	a := mergedBusyIdle(t, 6, 2)
+	b := mergedBusyIdle(t, 8, 5)
+	c := mergedBusyIdle(t, 12, 7)
+	rates := []float64{0.03, 0.01, 0.02}
+	m, err := NewMergedExposure(rates, []*Piecewise{a, b, c}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := numeric.Integrate(func(x float64) float64 {
+		return math.Exp(-m.CumHazard(x))
+	}, 0, m.Period(), 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SurvivalIntegral(); numeric.RelErr(got, want) > 1e-9 {
+		t.Errorf("merged survival integral %v, quadrature %v (rel err %v)",
+			got, want, numeric.RelErr(got, want))
+	}
+}
+
+func TestMergedSurvivalIntegralUnderflowTail(t *testing.T) {
+	// Once exp(-H(start)) underflows, later segments contribute
+	// nothing; the walk must stop rather than accumulate NaN/denormal
+	// noise. A hazard of 200/segment drives cumHaz past 745 after a few
+	// segments.
+	segs := make([]Segment, 0, 16)
+	for i := 0; i < 8; i++ {
+		s := float64(2 * i)
+		segs = append(segs, Segment{Start: s, End: s + 1, Vuln: 1}, Segment{Start: s + 1, End: s + 2, Vuln: 0})
+	}
+	tr, err := NewPiecewise(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMergedExposure([]float64{200}, []*Piecewise{tr}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.SurvivalIntegral()
+	if math.IsNaN(got) || got <= 0 || got > 1.0/200*1.0001 {
+		t.Errorf("survival integral %v, want ~1/rate and finite", got)
+	}
+	want, _ := tr.SurvivalIntegral(200)
+	if numeric.RelErr(got, want) > 1e-13 {
+		t.Errorf("survival integral %v, component integral %v", got, want)
+	}
+}

@@ -196,7 +196,26 @@ const (
 	// EngineFused is an alias for Fused, matching the engine's wire
 	// name ("fused") as the server and CLI docs spell it.
 	EngineFused = montecarlo.Fused
+	// Exact integrates the merged cumulative-hazard table in closed
+	// form instead of sampling it: zero trials, zero standard error,
+	// microsecond queries. Estimates record Trials = 0 and Seed = 0;
+	// WithTrials, WithSeed, and WithTargetRelStdErr are ignored.
+	// Systems whose hazard cannot be tabulated (incommensurate periods,
+	// over-cap merges, lazy traces alongside other components) return
+	// ErrExactUnavailable; the sweep planner falls back to Fused on it.
+	Exact = montecarlo.Exact
+	// EngineExact is an alias for Exact, matching the engine's wire
+	// name ("exact") as the server and CLI docs spell it.
+	EngineExact = montecarlo.Exact
 )
+
+// ErrExactUnavailable tags Exact-engine queries on systems whose
+// cumulative hazard cannot be tabulated in closed form (incommensurate
+// periods, an over-cap merged table, or non-materialized traces
+// alongside other failing components). Callers branch with errors.Is
+// and fall back to a sampling engine; it also wraps the underlying
+// cause, so errors.Is against the specific merge refusal still works.
+var ErrExactUnavailable = montecarlo.ErrExactUnavailable
 
 // MonteCarloOptions tunes MonteCarloMTTF.
 type MonteCarloOptions struct {

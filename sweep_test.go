@@ -3,6 +3,7 @@ package soferr_test
 import (
 	"context"
 	"errors"
+	"math"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -218,5 +219,85 @@ func TestBusyIdleSources(t *testing.T) {
 	}
 	if _, err := soferr.BusyIdleSources(100, []float64{1.5}); err == nil {
 		t.Error("accepted duty cycle > 1")
+	}
+}
+
+// TestSweepExactEngine: under WithEngine(Exact) every tabulatable cell
+// is answered in closed form — zero stderr, zero trials, and equal to
+// Derivation 1 for the busy/idle grid — with Engine = Exact recorded on
+// the estimate.
+func TestSweepExactEngine(t *testing.T) {
+	g := sweepTestGrid(t)
+	g.Methods = []soferr.Method{soferr.MonteCarlo}
+	res, err := soferr.Sweep(context.Background(), g, soferr.WithEngine(soferr.Exact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	duties := []float64{0.5, 0.1}
+	for i, r := range res {
+		est := r.Estimates[0]
+		if est.Engine != soferr.Exact || est.StdErr != 0 || est.Trials != 0 || est.Seed != 0 {
+			t.Fatalf("cell %d estimate is not deterministic-exact: %+v", i, est)
+		}
+		c := cells[i]
+		want, err := soferr.BusyIdleMTTF(c.RatePerYear*float64(c.Count), 86400, duties[c.Source]*86400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := math.Abs(est.MTTF-want) / want; re > 1e-12 {
+			t.Errorf("cell %d exact MTTF = %v, Derivation 1 = %v (rel err %v)", i, est.MTTF, want, re)
+		}
+	}
+}
+
+// TestSweepExactFallbackToFused: a cell whose merged hazard table is
+// refused (here: a single trace over the segment cap, so even the
+// one-component merge exceeds DefaultMaxMergedSegments) degrades to the
+// Fused sampler for that cell only, observably via Estimate.Engine; the
+// tabulatable cell in the same sweep stays exact.
+func TestSweepExactFallbackToFused(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a >4M-segment trace")
+	}
+	bits := make([]bool, (1<<22)+2)
+	for i := range bits {
+		bits[i] = i%2 == 0
+	}
+	huge, err := soferr.TraceFromBits(bits, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := soferr.BusyIdleTrace(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := soferr.Grid{
+		Name: "fallback",
+		Sources: []soferr.TraceSource{
+			{Name: "huge", Trace: huge},
+			{Name: "small", Trace: small},
+		},
+		RatesPerYear: []float64{1e6},
+		Methods:      []soferr.Method{soferr.MonteCarlo},
+		Seed:         1,
+	}
+	res, err := soferr.Sweep(context.Background(), g,
+		soferr.WithEngine(soferr.Exact), soferr.WithTrials(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d cells, want 2", len(res))
+	}
+	hugeEst, smallEst := res[0].Estimates[0], res[1].Estimates[0]
+	if hugeEst.Engine != soferr.Fused || hugeEst.Trials != 500 || !(hugeEst.StdErr > 0) {
+		t.Errorf("over-cap cell did not fall back to Fused sampling: %+v", hugeEst)
+	}
+	if smallEst.Engine != soferr.Exact || smallEst.StdErr != 0 || smallEst.Trials != 0 {
+		t.Errorf("tabulatable cell lost the exact engine: %+v", smallEst)
 	}
 }

@@ -320,7 +320,9 @@ func WithSeed(seed uint64) EstimateOption {
 }
 
 // WithEngine selects the Monte-Carlo trial implementation (default
-// Superposed; use Inverted for rate- and AVF-independent trial cost).
+// Superposed; use Inverted for rate- and AVF-independent trial cost,
+// Fused for component-count-independent trial cost, or Exact for the
+// trial-free closed-form answer with zero standard error).
 func WithEngine(e Engine) EstimateOption {
 	return func(s *estimateSettings) { s.engine = e }
 }
@@ -647,6 +649,13 @@ func (s *System) monteCarlo(ctx context.Context, set estimateSettings) (Estimate
 		return Estimate{}, fmt.Errorf("soferr: Monte-Carlo target relative standard error %v outside [0, 1): %w",
 			set.targetRSE, ErrInvalidArgument)
 	}
+	if set.engine == Exact {
+		// The exact engine is trial-free and deterministic: trials,
+		// seed, and precision target cannot change the answer, so they
+		// are normalized out of the cache key and the estimate — every
+		// exact query on this system shares one cache entry.
+		set.trials, set.seed, set.targetRSE = 0, 0, 0
+	}
 	key := mcCacheKey{trials: set.trials, seed: set.seed, engine: set.engine, targetRSE: set.targetRSE}
 	if !s.noCache {
 		if v, ok := s.mcCache.Load(key); ok {
@@ -705,7 +714,9 @@ func newEstimate(m Method, mttf, stderr float64, set estimateSettings) Estimate 
 // (suffers no unmasked error) through [0, t]: the first-principles
 // survival function S(t) = exp(-sum_i rate_i * m_i(t)) the flat MTTF
 // API cannot express. All failing components must have materialized
-// traces (and, when there are several, a shared period).
+// traces; systems with several failing components need a shared period
+// or commensurate periods (the latter answer from the merged hazard
+// table that also backs the Exact engine).
 func (s *System) Reliability(ctx context.Context, t float64) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -718,6 +729,13 @@ func (s *System) Reliability(ctx context.Context, t float64) (float64, error) {
 		return 1, nil // no component can ever fail
 	}
 	if s.unionErr != nil {
+		// The equal-period union is not the only exact route: the
+		// merged hazard table (the Exact engine's state) covers
+		// commensurate unequal periods too. Only if both refuse is the
+		// query unanswerable, and the union's error names the cause.
+		if r, exErr := s.mc.ExactReliability(t); exErr == nil {
+			return r, nil
+		}
 		return 0, s.unionErr
 	}
 	if math.IsInf(t, 1) {
@@ -749,6 +767,11 @@ func (s *System) FailureQuantile(ctx context.Context, p float64) (float64, error
 		return math.Inf(1), nil
 	}
 	if s.unionErr != nil {
+		// As in Reliability: commensurate unequal periods invert on the
+		// merged hazard table instead.
+		if q, exErr := s.mc.ExactFailureQuantile(p); exErr == nil {
+			return q, nil
+		}
 		return 0, s.unionErr
 	}
 	// F(t) = 1 - exp(-R*m(t)) > p  <=>  m(t) > -log1p(-p)/R.

@@ -215,8 +215,9 @@ func TestNewSystemErrorPaths(t *testing.T) {
 		t.Error("negative rate accepted")
 	}
 
-	// Mismatched periods: the system compiles (Monte Carlo is still
-	// well-defined) but union-backed queries surface the defect.
+	// Mismatched but commensurate periods: the equal-period union does
+	// not exist (SoftArch still errors), but the distribution queries
+	// now answer from the merged hazard table instead of failing.
 	mixed := []soferr.Component{
 		{Name: "a", RatePerYear: 10, Trace: tr},
 		{Name: "b", RatePerYear: 10, Trace: mustBusyIdle(t, 20, 4)},
@@ -228,14 +229,36 @@ func TestNewSystemErrorPaths(t *testing.T) {
 	if _, err := sys.MTTF(context.Background(), soferr.SoftArch); err == nil {
 		t.Error("SoftArch on mismatched periods succeeded")
 	}
-	if _, err := sys.Reliability(context.Background(), 5); err == nil {
-		t.Error("Reliability on mismatched periods succeeded")
+	if r, err := sys.Reliability(context.Background(), 5); err != nil {
+		t.Errorf("Reliability on commensurate mismatched periods failed: %v", err)
+	} else if r <= 0 || r >= 1 {
+		t.Errorf("Reliability(5) = %v on a failing system, want in (0, 1)", r)
 	}
-	if _, err := sys.FailureQuantile(context.Background(), 0.5); err == nil {
-		t.Error("FailureQuantile on mismatched periods succeeded")
+	if q, err := sys.FailureQuantile(context.Background(), 0.5); err != nil {
+		t.Errorf("FailureQuantile on commensurate mismatched periods failed: %v", err)
+	} else if q <= 0 || math.IsInf(q, 1) {
+		t.Errorf("FailureQuantile(0.5) = %v, want finite positive", q)
 	}
 	if _, err := sys.MTTF(context.Background(), soferr.MonteCarlo, soferr.WithTrials(2000)); err != nil {
 		t.Errorf("Monte Carlo on mismatched periods failed: %v", err)
+	}
+
+	// Incommensurate periods (the exact LCM of 10 and pi is beyond any
+	// usable repetition count): neither the union nor the merged table
+	// exists, so the distribution queries surface the union's error.
+	incomm := []soferr.Component{
+		{Name: "a", RatePerYear: 10, Trace: tr},
+		{Name: "b", RatePerYear: 10, Trace: mustBusyIdle(t, math.Pi, 1)},
+	}
+	isys, err := soferr.NewSystem(incomm)
+	if err != nil {
+		t.Fatalf("incommensurate periods should compile, got %v", err)
+	}
+	if _, err := isys.Reliability(context.Background(), 5); err == nil {
+		t.Error("Reliability on incommensurate periods succeeded")
+	}
+	if _, err := isys.FailureQuantile(context.Background(), 0.5); err == nil {
+		t.Error("FailureQuantile on incommensurate periods succeeded")
 	}
 
 	// Unknown method.
