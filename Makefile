@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check docs race verify bench bench-go serve chaos lint fuzz-smoke clean
+.PHONY: all build test vet fmt-check docs race verify bench bench-go serve chaos lint lint-fix-baseline fuzz-smoke clean
 
 all: build
 
@@ -57,12 +57,23 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Panic|Injected|Eviction|Readyz|RetryAfter|Resume' ./internal/faultinject/... ./internal/montecarlo/... ./internal/sweep/... ./internal/server/... ./client/...
 
 # lint runs the soferrlint static-contract suite (nondeterminism,
-# hotpath, errcontract, ctxflow, faultpoint — see DESIGN.md, "Static
-# contracts") over every package, via the go vet -vettool protocol.
-# Editors can run the same binary: go vet -vettool=$$(which soferrlint).
+# hotpath, floatprec, allocfree, errcontract, ctxflow, faultpoint,
+# gocontain — see DESIGN.md, "Static contracts") over every package via
+# the go vet -vettool protocol, then the compiler-verified escape
+# baseline diff (`soferrlint escape`). Editors can run the same binary:
+# go vet -vettool=$$(which soferrlint).
 lint:
 	$(GO) build -o bin/soferrlint ./cmd/soferrlint
 	$(GO) vet -vettool=bin/soferrlint ./...
+	bin/soferrlint escape
+
+# lint-fix-baseline deliberately regenerates the hotpath escape
+# baseline from fresh compiler output, preserving per-entry comments
+# for entries that survive. Review the diff before committing: every
+# new line is a heap allocation in a trial kernel.
+lint-fix-baseline:
+	$(GO) build -o bin/soferrlint ./cmd/soferrlint
+	bin/soferrlint escape -update
 
 # fuzz-smoke gives each native fuzz target a short budget on top of its
 # committed seed corpus (testdata/fuzz). CI runs the same step; longer

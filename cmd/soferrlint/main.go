@@ -1,8 +1,9 @@
 // Command soferrlint runs the soferr static-contract analyzers
-// (nondeterminism, hotpath, errcontract, ctxflow, faultpoint — see
-// DESIGN.md, "Static contracts") over Go packages.
+// (nondeterminism, hotpath, floatprec, allocfree, errcontract,
+// ctxflow, faultpoint, gocontain — see DESIGN.md, "Static contracts")
+// over Go packages.
 //
-// Two modes share one binary:
+// Three modes share one binary:
 //
 //	soferrlint ./...
 //	    Standalone. The command re-executes itself through the go
@@ -15,9 +16,19 @@
 //	    is what editors and gopls-compatible tooling invoke, and what
 //	    CI runs. Single analyzers can be selected the usual way:
 //	    go vet -vettool=... -nondeterminism ./...
+//
+//	soferrlint escape [-update] [-C dir]
+//	    Compiler-verified escape baseline: runs go build with
+//	    -gcflags='-m -m' over the module, attributes "escapes to
+//	    heap" / "moved to heap" diagnostics to //soferr:hotpath
+//	    functions, and diffs them against the committed baseline
+//	    (internal/lint/escape/testdata/escape_baseline.txt). -update
+//	    regenerates the baseline deliberately; -C selects the module
+//	    root (default ".").
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"os/exec"
@@ -26,14 +37,33 @@ import (
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"github.com/soferr/soferr/internal/lint"
+	"github.com/soferr/soferr/internal/lint/escape"
 )
 
 func main() {
 	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "escape" {
+		os.Exit(escapeMode(args[1:]))
+	}
 	if unitcheckerInvocation(args) {
 		unitchecker.Main(lint.Suite()...) // never returns
 	}
 	os.Exit(standalone(args))
+}
+
+// escapeMode runs the escape-baseline driver (see internal/lint/escape).
+func escapeMode(args []string) int {
+	fs := flag.NewFlagSet("soferrlint escape", flag.ContinueOnError)
+	update := fs.Bool("update", false, "regenerate the committed baseline instead of diffing against it")
+	dir := fs.String("C", ".", "module root to analyze")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "soferrlint escape: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	return escape.Main(*dir, *update, os.Stdout, os.Stderr)
 }
 
 // unitcheckerInvocation reports whether the go command is driving this

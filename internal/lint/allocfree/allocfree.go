@@ -1,0 +1,201 @@
+// Package allocfree implements the soferrlint analyzer that closes
+// the static half of the per-trial zero-alloc contract. The hotpath
+// analyzer (PR 7) catches fmt calls, unpreallocated appends, interface
+// boxing, and loop-variable captures; this analyzer flags the
+// allocation-forcing constructs beyond those, inside every
+// //soferr:hotpath function:
+//
+//   - composite literals that must live on the heap: &T{...} (the
+//     address escapes the statement) and slice/map literals (backing
+//     stores are heap allocations unless the compiler can prove
+//     otherwise — in a hot loop, do not make it guess);
+//   - string <-> []byte (and string -> []rune) conversions, each of
+//     which copies its operand into a fresh allocation;
+//   - calls of variadic functions that materialize an argument slice
+//     (spreading an existing slice with ... is fine);
+//   - method values (x.M used as a value, not called), which allocate
+//     a bound-method closure.
+//
+// The compiler's own escape analysis remains the ground truth: the
+// `soferrlint escape` driver (internal/lint/escape) diffs the
+// -gcflags='-m -m' output attributed to hotpath functions against a
+// committed baseline, so anything this pattern pass misses still
+// fails the build. Escape hatch: //soferr:allow allocfree <why>.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/soferr/soferr/internal/lint/directive"
+)
+
+const name = "allocfree"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "forbid allocation-forcing constructs (escaping literals, string<->[]byte, variadic materialization, method values) in //soferr:hotpath functions",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, directive.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := pass.ResultOf[directive.Analyzer].(*directive.Index)
+	for _, a := range dirs.Unjustified(name) {
+		pass.Reportf(a.Pos, "soferr:allow %s needs a justification (\"//soferr:allow %s <why>\")", name, name)
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if !dirs.Hotpath(fd) || fd.Body == nil {
+			return
+		}
+		check(pass, dirs, fd)
+	})
+	dirs.ReportStale(name, pass.Reportf)
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, dirs *directive.Index, fd *ast.FuncDecl) {
+	report := func(n ast.Node, format string, args ...interface{}) {
+		if dirs.Allows(name, n.Pos()) {
+			return
+		}
+		pass.Reportf(n.Pos(), format, args...)
+	}
+
+	// calledFuns collects every expression in call position, so method
+	// values that are immediately invoked are not flagged.
+	calledFuns := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			calledFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			checkAddressOfLiteral(pass, report, n)
+		case *ast.CompositeLit:
+			checkSliceMapLiteral(pass, report, n)
+		case *ast.CallExpr:
+			checkConversion(pass, report, n)
+			checkVariadic(pass, report, n)
+		case *ast.SelectorExpr:
+			checkMethodValue(pass, report, calledFuns, n)
+		}
+		return true
+	})
+}
+
+// checkAddressOfLiteral flags &T{...}: taking a composite literal's
+// address forces it (and everything it references) toward the heap.
+func checkAddressOfLiteral(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), u *ast.UnaryExpr) {
+	if u.Op != token.AND {
+		return
+	}
+	if _, ok := ast.Unparen(u.X).(*ast.CompositeLit); ok {
+		report(u, "hotpath takes the address of a composite literal; the literal escapes to the heap — hoist it out of the hot loop or reuse a preallocated value")
+	}
+}
+
+// checkSliceMapLiteral flags slice and map composite literals: their
+// backing stores are allocations the trial loop must not pay per call.
+func checkSliceMapLiteral(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		report(lit, "hotpath builds a slice literal; the backing array allocates — preallocate it outside the hot loop")
+	case *types.Map:
+		report(lit, "hotpath builds a map literal; maps allocate — preallocate it outside the hot loop")
+	}
+}
+
+// checkConversion flags string <-> []byte and string -> []rune
+// conversions, each of which copies into a fresh allocation.
+func checkConversion(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := tv.Type
+	src := pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	switch {
+	case isString(dst) && isByteOrRuneSlice(src):
+		report(call, "hotpath converts %s to string; the conversion copies into a fresh allocation", types.TypeString(src, types.RelativeTo(pass.Pkg)))
+	case isByteOrRuneSlice(dst) && isString(src):
+		report(call, "hotpath converts string to %s; the conversion copies into a fresh allocation", types.TypeString(dst, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// checkVariadic flags calls of variadic functions that pass loose
+// variadic arguments: the call materializes a fresh argument slice.
+// Spreading an existing slice (f(xs...)) reuses the caller's storage.
+func checkVariadic(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), call *ast.CallExpr) {
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || !sig.Variadic() {
+		return // builtins (append is hotpath's business) and non-variadic calls
+	}
+	if len(call.Args) < sig.Params().Len() {
+		return // variadic part left empty: no slice is built
+	}
+	report(call, "hotpath calls a variadic function with loose arguments; the call materializes an argument slice — pass a preallocated slice with ... or add fixed-arity helpers")
+}
+
+// checkMethodValue flags method values: x.M referenced as a value
+// allocates a closure binding x.
+func checkMethodValue(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), calledFuns map[ast.Expr]bool, sel *ast.SelectorExpr) {
+	if calledFuns[sel] {
+		return
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	report(sel, "hotpath takes the method value %s.%s; binding the receiver allocates a closure — call it directly or hoist the bound value out of the hot path", types.ExprString(sel.X), sel.Sel.Name)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Byte, types.Rune: // aliases of Uint8 and Int32
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"github.com/soferr/soferr/internal/lint/allocfree"
+	"github.com/soferr/soferr/internal/lint/linttest"
+)
+
+func TestAllocfree(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), allocfree.Analyzer, "alloc")
+}

@@ -1,0 +1,131 @@
+// Package alloc seeds positive and negative cases for the allocfree
+// analyzer: only //soferr:hotpath functions are checked, and each
+// allocation-forcing construct has a flagged and an allowed form.
+package alloc
+
+type point struct{ x, y float64 }
+
+type accum struct{ total float64 }
+
+func (a *accum) add(x float64) { a.total += x }
+
+func variadicSum(xs ...float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func fixedSum(a, b float64) float64 { return a + b }
+
+func mixed(scale float64, xs ...float64) float64 { return scale * variadicSum(xs...) }
+
+//soferr:hotpath
+func hotAddressOfLiteral() *point {
+	return &point{1, 2} // want `hotpath takes the address of a composite literal`
+}
+
+//soferr:hotpath
+func hotSliceLiteral(x float64) float64 {
+	xs := []float64{x, 2 * x} // want `hotpath builds a slice literal`
+	return xs[0]
+}
+
+//soferr:hotpath
+func hotMapLiteral(x float64) float64 {
+	m := map[string]float64{"x": x} // want `hotpath builds a map literal`
+	return m["x"]
+}
+
+//soferr:hotpath
+func hotValueLiteral(x float64) float64 {
+	p := point{x, x} // a plain value literal lives on the stack
+	return p.x
+}
+
+//soferr:hotpath
+func hotArrayLiteral(x float64) float64 {
+	xs := [2]float64{x, 2 * x} // arrays are values, not heap stores
+	return xs[0]
+}
+
+//soferr:hotpath
+func hotStringToBytes(s string) []byte {
+	return []byte(s) // want `hotpath converts string to \[\]byte`
+}
+
+//soferr:hotpath
+func hotBytesToString(b []byte) string {
+	return string(b) // want `hotpath converts \[\]byte to string`
+}
+
+//soferr:hotpath
+func hotStringToRunes(s string) []rune {
+	return []rune(s) // want `hotpath converts string to \[\]rune`
+}
+
+//soferr:hotpath
+func hotNumericConversion(x float64) int {
+	return int(x) // scalar conversions do not allocate
+}
+
+//soferr:hotpath
+func hotVariadicLoose(a, b float64) float64 {
+	return variadicSum(a, b) // want `hotpath calls a variadic function with loose arguments`
+}
+
+//soferr:hotpath
+func hotVariadicMixedLoose(a float64) float64 {
+	return mixed(2, a, a) // want `hotpath calls a variadic function with loose arguments`
+}
+
+//soferr:hotpath
+func hotVariadicSpread(xs []float64) float64 {
+	return variadicSum(xs...) // spreading reuses the caller's slice
+}
+
+//soferr:hotpath
+func hotVariadicEmpty() float64 {
+	return variadicSum() // empty variadic part builds no slice
+}
+
+//soferr:hotpath
+func hotFixedArity(a, b float64) float64 {
+	return fixedSum(a, b)
+}
+
+//soferr:hotpath
+func hotMethodValue(a *accum) func(float64) {
+	return a.add // want `hotpath takes the method value a\.add`
+}
+
+//soferr:hotpath
+func hotMethodCall(a *accum, x float64) {
+	a.add(x) // direct call binds nothing
+}
+
+//soferr:hotpath
+func hotAllowed(s string) []byte {
+	//soferr:allow allocfree one-time header build; runs once per stream, not per trial
+	return []byte(s)
+}
+
+func coldUnjustified() {
+	/* want `soferr:allow allocfree needs a justification` */ //soferr:allow allocfree
+}
+
+//soferr:hotpath
+func hotStaleAllow(a, b float64) float64 {
+	/* want `soferr:allow allocfree suppresses no allocfree diagnostic` */ //soferr:allow allocfree the slice literal this excused is gone
+	return fixedSum(a, b)
+}
+
+// cold is not annotated: nothing in it is checked.
+func cold(s string) []byte {
+	m := map[string]int{"n": len(s)}
+	_ = m
+	_ = &point{1, 2}
+	_ = variadicSum(1, 2, 3)
+	return []byte(s)
+}

@@ -42,6 +42,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	}
 
 	if pass.Pkg.Name() == "main" {
+		dirs.ReportStale(name, pass.Reportf)
 		return nil, nil
 	}
 
@@ -84,6 +85,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			}
 		}
 	})
+	dirs.ReportStale(name, pass.Reportf)
 	return nil, nil
 }
 

@@ -12,6 +12,7 @@ import (
 const src = `// Package p is the directive-parsing fixture.
 //
 //soferr:deterministic
+//soferr:contained
 package p
 
 //soferr:hotpath
@@ -47,6 +48,9 @@ func TestParse(t *testing.T) {
 
 	if !idx.Deterministic() {
 		t.Error("Deterministic() = false, want true")
+	}
+	if !idx.Contained() {
+		t.Error("Contained() = false, want true")
 	}
 
 	funcs := make(map[string]*ast.FuncDecl)
@@ -100,6 +104,55 @@ func TestParse(t *testing.T) {
 	known := map[string]bool{"errcontract": true, "ctxflow": true, "nondeterminism": true, "hotpath": true}
 	if bad := idx.UnknownChecks(known); len(bad) != 0 {
 		t.Errorf("UnknownChecks = %v, want none", bad)
+	}
+
+	// Stale tracking: the ctxflow allow was consulted (and suppressed)
+	// above, the errcontract allow too; nondeterminism was consulted on
+	// its covered line. An allow never consulted — or consulted only at
+	// positions outside its range — is stale.
+	if st := idx.Stale("ctxflow"); len(st) != 0 {
+		t.Errorf("Stale(ctxflow) = %d entries after a suppressing lookup, want 0", len(st))
+	}
+	// The hotpath allow on bare() is unjustified, so it is never stale
+	// (it is reported as unjustified instead).
+	if st := idx.Stale("hotpath"); len(st) != 0 {
+		t.Errorf("Stale(hotpath) = %d entries, want 0 (unjustified allows are not stale)", len(st))
+	}
+}
+
+func TestStale(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := directive.Parse(fset, []*ast.File{f})
+
+	// No lookups at all: every justified allow is stale for its check.
+	if st := idx.Stale("errcontract"); len(st) != 1 {
+		t.Fatalf("Stale(errcontract) = %d entries before any lookup, want 1", len(st))
+	}
+
+	// A miss (position outside the range) does not consume the allow.
+	if idx.Allows("errcontract", f.End()) {
+		t.Error("Allows matched outside the directive's range")
+	}
+	if st := idx.Stale("errcontract"); len(st) != 1 {
+		t.Fatalf("Stale(errcontract) = %d entries after a miss, want 1", len(st))
+	}
+
+	// A hit consumes it.
+	var shim *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "shim" {
+			shim = fd
+		}
+	}
+	if !idx.Allows("errcontract", shim.Body.Pos()) {
+		t.Fatal("Allows missed inside the function the doc-comment allow covers")
+	}
+	if st := idx.Stale("errcontract"); len(st) != 0 {
+		t.Fatalf("Stale(errcontract) = %d entries after a hit, want 0", len(st))
 	}
 }
 

@@ -93,6 +93,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			}
 		}
 	})
+	dirs.ReportStale(name, pass.Reportf)
 	return nil, nil
 }
 

@@ -1,0 +1,81 @@
+package escape_test
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/soferr/soferr/internal/lint/escape"
+	"github.com/soferr/soferr/internal/montecarlo"
+	"github.com/soferr/soferr/internal/trace"
+)
+
+// TestBaselineAgreesWithAllocsPerRun cross-checks the committed escape
+// baseline against the runtime measurement on a representative trial
+// kernel: the baseline must attribute zero heap escapes to the
+// montecarlo trial functions, and AllocsPerRun on a compiled system
+// must agree — O(1) setup allocations for a multi-block run, far
+// below one per trial. If either half drifts, the static and dynamic
+// views of the zero-alloc contract have diverged.
+func TestBaselineAgreesWithAllocsPerRun(t *testing.T) {
+	// Static half: the committed baseline may list escapes in the trial
+	// kernels only for code off the steady state (error/panic paths),
+	// and every such entry must say why — an undocumented suppression
+	// is indistinguishable from an accepted regression.
+	b, err := escape.ReadBaselineFile(filepath.Join("testdata", "escape_baseline.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) == 0 {
+		t.Fatal("escape baseline is missing or empty; run make lint-fix-baseline")
+	}
+	for _, e := range b.Entries {
+		if b.Comments[e] == "" {
+			t.Errorf("baseline entry has no justification comment: %s", e)
+		}
+		// A make/composite-literal escape in a trial kernel would be a
+		// per-trial heap allocation, which no comment can excuse.
+		if strings.HasPrefix(e, "internal/montecarlo/") && strings.Contains(e, "make(") {
+			t.Errorf("baseline accepts a per-call backing-store allocation in a trial kernel: %s", e)
+		}
+	}
+
+	// Dynamic half: the same kernels measured by the runtime.
+	busy, err := trace.BusyIdle(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := trace.NewPiecewise([]trace.Segment{
+		{Start: 0, End: 4, Vuln: 0.3}, {Start: 4, End: 12, Vuln: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := montecarlo.Compile([]montecarlo.Component{
+		{Name: "a", Rate: 0.05, Trace: busy},
+		{Name: "b", Rate: 0.08, Trace: frac},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const trials = 8192
+	cfg := montecarlo.Config{Trials: trials, Seed: 1, Workers: 1, Engine: montecarlo.Fused}
+	// Warm lazily built state outside the measured runs.
+	warm := cfg
+	warm.Trials = 16
+	if _, err := c.MTTF(ctx, warm); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := c.MTTF(ctx, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One escape per trial would be >= trials; O(1) setup (accumulator
+	// slice, worker goroutine, closures) stays far below 64.
+	if allocs > 64 {
+		t.Errorf("trial kernel allocates: %v allocations per %d-trial run, but the escape baseline records none for internal/montecarlo", allocs, trials)
+	}
+}

@@ -1,0 +1,377 @@
+// Package escape implements the compiler-verified half of the
+// per-trial zero-alloc contract: the `soferrlint escape` driver mode.
+//
+// The allocfree and hotpath analyzers pattern-match allocation-forcing
+// constructs, but the gc compiler's escape analysis is the ground
+// truth for what actually reaches the heap. This package runs
+//
+//	go build -gcflags='-m -m' ./...
+//
+// over the module, extracts every "escapes to heap" / "moved to heap"
+// diagnostic, attributes each one to the enclosing function, keeps
+// only those inside //soferr:hotpath functions, and diffs the result
+// against the committed baseline (testdata/escape_baseline.txt beside
+// this package). A hotpath escape absent from the baseline fails the
+// run — a refactor cannot silently add a heap allocation to a trial
+// kernel. A baseline entry the compiler no longer produces also fails:
+// the inventory must not rot (same philosophy as stale
+// //soferr:allow detection). `soferrlint escape -update` regenerates
+// the baseline deliberately, preserving trailing per-entry comments
+// for entries that survive.
+//
+// Baseline entries are line-number-free —
+//
+//	internal/xrand/xrand.go:Rand.Exp: new(big.Float) escapes to heap  # why it is intentional
+//
+// — so unrelated edits above a function do not churn the file.
+package escape
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BaselinePath is the committed baseline, relative to the module root.
+const BaselinePath = "internal/lint/escape/testdata/escape_baseline.txt"
+
+// Diag is one escape diagnostic from the compiler, positions relative
+// to the module root.
+type Diag struct {
+	File    string // slash-separated, module-root-relative
+	Line    int
+	Message string // "x escapes to heap", trailing flow colon stripped
+}
+
+// diagRE matches a compiler diagnostic line: path.go:line:col: message.
+var diagRE = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.+)$`)
+
+// ParseCompilerOutput extracts escape diagnostics from `go build
+// -gcflags='-m -m'` output. Package headers ("# import/path"),
+// indented escape-flow detail lines, and non-escape notes (inlining
+// decisions, "leaking param" annotations) are skipped. With -m -m the
+// compiler prints each escape twice — once introducing the flow trace
+// (trailing colon) and once plain — so results are deduplicated.
+func ParseCompilerOutput(r io.Reader) []Diag {
+	seen := make(map[Diag]bool)
+	var out []Diag
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, " ") || strings.HasPrefix(line, "\t") {
+			continue
+		}
+		m := diagRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := strings.TrimSuffix(m[4], ":")
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		n, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		d := Diag{
+			File:    strings.TrimPrefix(filepath.ToSlash(m[1]), "./"),
+			Line:    n,
+			Message: msg,
+		}
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FuncRange is a //soferr:hotpath function's position in a file.
+type FuncRange struct {
+	Name       string // "F" or "T.M"
+	Start, End int    // line range, inclusive
+}
+
+// HotpathRanges parses every non-test Go file under modRoot (skipping
+// vendor and testdata trees) and returns, per module-root-relative
+// file path, the line ranges of functions carrying the
+// //soferr:hotpath doc marker.
+func HotpathRanges(modRoot string) (map[string][]FuncRange, error) {
+	out := make(map[string][]FuncRange)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(modRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "vendor", "testdata", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("escape: parse %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(modRoot, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !isHotpath(fd) {
+				continue
+			}
+			out[rel] = append(out[rel], FuncRange{
+				Name:  funcName(fd),
+				Start: fset.Position(fd.Pos()).Line,
+				End:   fset.Position(fd.End()).Line,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// isHotpath reports whether the declaration's doc comment carries the
+// //soferr:hotpath marker, using the same grammar as the directive
+// analyzer (an optional trailing note after the marker is fine).
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//soferr:")
+		if !ok {
+			continue
+		}
+		if text == "hotpath" || strings.HasPrefix(text, "hotpath ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcName names a declaration the way baseline entries spell it:
+// "F" for a function, "T.M" for a method on T or *T.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Unwrap generic receivers (T[P]) down to the type name.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// Attribute keeps the diagnostics that land inside hotpath functions
+// and renders them as sorted, deduplicated baseline entries:
+// "file.go:Func: message".
+func Attribute(diags []Diag, hot map[string][]FuncRange) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, d := range diags {
+		for _, r := range hot[d.File] {
+			if d.Line < r.Start || d.Line > r.End {
+				continue
+			}
+			e := fmt.Sprintf("%s:%s: %s", d.File, r.Name, d.Message)
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+			break
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Baseline is the committed inventory of intentional hotpath escapes.
+type Baseline struct {
+	Entries []string
+	// Comments maps an entry to its trailing "# why" annotation, kept
+	// verbatim across -update runs while the entry survives.
+	Comments map[string]string
+}
+
+// ReadBaseline parses the baseline format: one entry per line, blank
+// lines and full-line # comments skipped, an optional trailing
+// comment per entry introduced by "  # ".
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	b := &Baseline{Comments: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " \t")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		entry := line
+		if i := strings.Index(line, "  # "); i >= 0 {
+			entry = strings.TrimRight(line[:i], " \t")
+			b.Comments[entry] = strings.TrimSpace(line[i+len("  # "):])
+		}
+		b.Entries = append(b.Entries, entry)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(b.Entries)
+	return b, nil
+}
+
+// ReadBaselineFile is ReadBaseline over a path; a missing file is an
+// empty baseline, so the first -update run bootstraps it.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Comments: make(map[string]string)}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBaseline(f)
+}
+
+// WriteBaseline renders sorted entries with the standard header,
+// carrying over the given per-entry comments.
+func WriteBaseline(w io.Writer, entries []string, comments map[string]string) error {
+	sorted := append([]string(nil), entries...)
+	sort.Strings(sorted)
+	var buf bytes.Buffer
+	buf.WriteString(`# soferrlint escape baseline — intentional heap escapes in //soferr:hotpath functions.
+#
+# Format: file.go:Func: compiler message   (optionally "  # why it is intentional")
+# Regenerate deliberately with: make lint-fix-baseline
+# A hotpath escape not listed here fails make lint; so does a stale entry.
+`)
+	for _, e := range sorted {
+		buf.WriteString(e)
+		if c := comments[e]; c != "" {
+			buf.WriteString("  # " + c)
+		}
+		buf.WriteByte('\n')
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Diff splits the current entries against the baseline: added entries
+// are new hotpath escapes, removed entries are stale baseline lines.
+func Diff(current []string, baseline *Baseline) (added, removed []string) {
+	cur := make(map[string]bool, len(current))
+	for _, e := range current {
+		cur[e] = true
+	}
+	base := make(map[string]bool, len(baseline.Entries))
+	for _, e := range baseline.Entries {
+		base[e] = true
+		if !cur[e] {
+			removed = append(removed, e)
+		}
+	}
+	for _, e := range current {
+		if !base[e] {
+			added = append(added, e)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}
+
+// Current runs the compiler over the module and returns the hotpath
+// escape entries it reports now.
+func Current(modRoot string) ([]string, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m -m", "./...")
+	cmd.Dir = modRoot
+	var stderr bytes.Buffer
+	cmd.Stdout = io.Discard
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escape: go build -gcflags='-m -m' failed: %v\n%s", err, stderr.String())
+	}
+	hot, err := HotpathRanges(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	return Attribute(ParseCompilerOutput(&stderr), hot), nil
+}
+
+// Main is the `soferrlint escape` entry point. With update set it
+// rewrites the baseline (preserving comments for surviving entries)
+// and returns 0; otherwise it diffs and returns 1 on any drift.
+func Main(modRoot string, update bool, stdout, stderr io.Writer) int {
+	current, err := Current(modRoot)
+	if err != nil {
+		fmt.Fprintf(stderr, "soferrlint escape: %v\n", err)
+		return 2
+	}
+	path := filepath.Join(modRoot, filepath.FromSlash(BaselinePath))
+	baseline, err := ReadBaselineFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "soferrlint escape: read baseline: %v\n", err)
+		return 2
+	}
+	if update {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "soferrlint escape: %v\n", err)
+			return 2
+		}
+		werr := WriteBaseline(f, current, baseline.Comments)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "soferrlint escape: write baseline: %v\n", werr)
+			return 2
+		}
+		fmt.Fprintf(stdout, "soferrlint escape: baseline updated: %d hotpath escape(s) recorded in %s\n", len(current), BaselinePath)
+		return 0
+	}
+	added, removed := Diff(current, baseline)
+	for _, e := range added {
+		fmt.Fprintf(stderr, "soferrlint escape: new hotpath heap escape not in baseline:\n  %s\n", e)
+	}
+	for _, e := range removed {
+		fmt.Fprintf(stderr, "soferrlint escape: stale baseline entry (the compiler no longer reports it):\n  %s\n", e)
+	}
+	if len(added) > 0 || len(removed) > 0 {
+		fmt.Fprintf(stderr, "soferrlint escape: %d new, %d stale — fix the escape or run `make lint-fix-baseline` and justify the change in review\n", len(added), len(removed))
+		return 1
+	}
+	fmt.Fprintf(stdout, "soferrlint escape: ok — %d baselined hotpath escape(s), no drift\n", len(current))
+	return 0
+}

@@ -1,0 +1,129 @@
+package escape_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/soferr/soferr/internal/lint/escape"
+)
+
+func fixtureOutput(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "gcflags_m_output.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestParseCompilerOutput(t *testing.T) {
+	diags := escape.ParseCompilerOutput(fixtureOutput(t))
+	want := []escape.Diag{
+		{File: "kern/kern.go", Line: 12, Message: "make([]float64, len(xs)) escapes to heap"},
+		{File: "kern/kern.go", Line: 24, Message: "make([]float64, n) escapes to heap"},
+		{File: "kern/kern.go", Line: 33, Message: "moved to heap: x"},
+		{File: "kern/kern.go", Line: 40, Message: "make([]float64, n) escapes to heap"},
+	}
+	if !reflect.DeepEqual(diags, want) {
+		t.Errorf("ParseCompilerOutput:\n got %v\nwant %v", diags, want)
+	}
+}
+
+func TestHotpathRangesAndAttribute(t *testing.T) {
+	hot, err := escape.HotpathRanges(filepath.Join("testdata", "srcmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := hot["kern/kern.go"]
+	if len(ranges) != 2 {
+		t.Fatalf("HotpathRanges: got %v, want HotKernel and Ring.Push", ranges)
+	}
+	if ranges[0].Name != "HotKernel" || ranges[1].Name != "Ring.Push" {
+		t.Errorf("HotpathRanges names: got %v", ranges)
+	}
+	// The cold functions sit between and after the hotpath ranges.
+	if ranges[0].Start > 12 || ranges[0].End < 20 || ranges[1].Start > 33 || ranges[1].End < 34 {
+		t.Errorf("HotpathRanges lines: got %v", ranges)
+	}
+
+	entries := escape.Attribute(escape.ParseCompilerOutput(fixtureOutput(t)), hot)
+	want := []string{
+		"kern/kern.go:HotKernel: make([]float64, len(xs)) escapes to heap",
+		"kern/kern.go:Ring.Push: moved to heap: x",
+	}
+	if !reflect.DeepEqual(entries, want) {
+		t.Errorf("Attribute:\n got %v\nwant %v", entries, want)
+	}
+}
+
+func TestBaselineRoundTripAndDiff(t *testing.T) {
+	const text = `# header comment explaining the file
+# another header line
+
+a.go:F: x escapes to heap  # reused scratch buffer, one per stream
+b.go:T.M: moved to heap: y
+c.go:G: make([]int, n) escapes to heap
+`
+	b, err := escape.ReadBaseline(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEntries := []string{
+		"a.go:F: x escapes to heap",
+		"b.go:T.M: moved to heap: y",
+		"c.go:G: make([]int, n) escapes to heap",
+	}
+	if !reflect.DeepEqual(b.Entries, wantEntries) {
+		t.Errorf("ReadBaseline entries:\n got %v\nwant %v", b.Entries, wantEntries)
+	}
+	if got := b.Comments["a.go:F: x escapes to heap"]; got != "reused scratch buffer, one per stream" {
+		t.Errorf("ReadBaseline comment: got %q", got)
+	}
+
+	// c.go:G is fixed (stale), d.go:H is new drift.
+	current := []string{
+		"a.go:F: x escapes to heap",
+		"b.go:T.M: moved to heap: y",
+		"d.go:H: func literal escapes to heap",
+	}
+	added, removed := escape.Diff(current, b)
+	if !reflect.DeepEqual(added, []string{"d.go:H: func literal escapes to heap"}) {
+		t.Errorf("Diff added: got %v", added)
+	}
+	if !reflect.DeepEqual(removed, []string{"c.go:G: make([]int, n) escapes to heap"}) {
+		t.Errorf("Diff removed: got %v", removed)
+	}
+
+	// An update preserves the surviving entry's comment and drops the
+	// stale entry.
+	var buf bytes.Buffer
+	if err := escape.WriteBaseline(&buf, current, b.Comments); err != nil {
+		t.Fatal(err)
+	}
+	reread, err := escape.ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reread.Entries, current) {
+		t.Errorf("WriteBaseline round trip:\n got %v\nwant %v", reread.Entries, current)
+	}
+	if got := reread.Comments["a.go:F: x escapes to heap"]; got != "reused scratch buffer, one per stream" {
+		t.Errorf("WriteBaseline dropped the comment: got %q", got)
+	}
+	if !strings.HasPrefix(buf.String(), "# soferrlint escape baseline") {
+		t.Errorf("WriteBaseline header missing:\n%s", buf.String())
+	}
+}
+
+func TestDiffCleanBaseline(t *testing.T) {
+	b := &escape.Baseline{Entries: []string{"a.go:F: x escapes to heap"}}
+	added, removed := escape.Diff([]string{"a.go:F: x escapes to heap"}, b)
+	if len(added) != 0 || len(removed) != 0 {
+		t.Errorf("Diff on identical sets: added %v removed %v", added, removed)
+	}
+}

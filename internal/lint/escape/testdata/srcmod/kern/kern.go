@@ -1,0 +1,41 @@
+// Package kern is a fixture for the escape driver tests: a hotpath
+// kernel with an intentional escape, cold functions whose escapes must
+// not be attributed, and a hotpath method. Line numbers matter — the
+// captured compiler output in ../../gcflags_m_output.txt refers to
+// this file.
+package kern
+
+// HotKernel is the representative trial kernel.
+//
+//soferr:hotpath
+func HotKernel(xs []float64) float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * x
+	}
+	s := 0.0
+	for _, v := range out {
+		s += v
+	}
+	return s
+}
+
+func coldSetup(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Ring is a reusable buffer.
+type Ring struct{ buf []float64 }
+
+// Push appends into the ring.
+//
+//soferr:hotpath
+func (r *Ring) Push(x float64) {
+	r.buf = append(r.buf, x)
+}
+
+var sink []float64
+
+func coldLeak() {
+	sink = coldSetup(8)
+}

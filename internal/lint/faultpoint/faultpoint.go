@@ -157,6 +157,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		pass.ExportPackageFact(&Points{Names: names})
 	}
 
+	dirs.ReportStale(name, pass.Reportf)
 	return nil, nil
 }
 

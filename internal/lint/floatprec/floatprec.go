@@ -1,0 +1,314 @@
+// Package floatprec implements the soferrlint analyzer guarding the
+// numeric-precision idioms the exact engine's correctness rests on
+// (see DESIGN.md, "Static contracts", numeric-idiom table). The exact
+// closed forms stay accurate across twelve decades of hazard only
+// because a handful of hand-placed floating-point idioms avoid
+// catastrophic cancellation — and nothing but this analyzer stops a
+// refactor from silently reverting one. In the deterministic core
+// (the //soferr:deterministic packages, recognized by marker and by
+// import path) and inside every //soferr:hotpath function it flags:
+//
+//   - 1 - math.Exp(x) and math.Exp(x) - 1, which cancel to rounding
+//     noise for |x| near zero — use math.Expm1 (or
+//     numeric.OneMinusExpNeg for the 1 - e^(-x) form). The same trap
+//     spelled 1 - numeric.ExpNeg(x) is flagged too.
+//   - math.Log(1 + x) and math.Log(1 - x), which lose all of x's
+//     precision once |x| drops below 2^-53 — use math.Log1p.
+//   - == and != between floating-point expressions, outside the
+//     sentinel comparisons that are exact by construction: literals
+//     and named constants (0, 1, table caps), math.Inf/math.NaN
+//     calls, x == x NaN probes, and comparisons between elements of
+//     one table (both operands indexing the same slice — exact table
+//     boundaries are bit-copied, never recomputed).
+//   - naive += accumulation of a float across the iterations of a
+//     loop in a //soferr:hotpath function, where numeric.KahanSum is
+//     the contract for statistical sums. Arrival-clock walks whose
+//     running value is semantically the sum of its own draws carry a
+//     documented allow.
+//
+// Escape hatch: //soferr:allow floatprec <why>.
+package floatprec
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/soferr/soferr/internal/lint/directive"
+)
+
+const name = "floatprec"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "forbid cancellation-prone float idioms (1-exp, log(1±x), ==, naive loop sums) in the deterministic core and hot paths",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, directive.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := pass.ResultOf[directive.Analyzer].(*directive.Index)
+	for _, a := range dirs.Unjustified(name) {
+		pass.Reportf(a.Pos, "soferr:allow %s needs a justification (\"//soferr:allow %s <why>\")", name, name)
+	}
+
+	report := func(n ast.Node, format string, args ...interface{}) {
+		if dirs.Allows(name, n.Pos()) {
+			return
+		}
+		pass.Reportf(n.Pos(), format, args...)
+	}
+
+	coreScope := dirs.Deterministic() || directive.CorePaths[pass.Pkg.Path()]
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	inTest := false
+	var hotFunc *ast.FuncDecl // innermost enclosing //soferr:hotpath function, if any
+	ins.Preorder([]ast.Node{
+		(*ast.File)(nil),
+		(*ast.FuncDecl)(nil),
+		(*ast.BinaryExpr)(nil),
+		(*ast.CallExpr)(nil),
+		(*ast.AssignStmt)(nil),
+	}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			inTest = strings.HasSuffix(pass.Fset.File(n.Pos()).Name(), "_test.go")
+			hotFunc = nil
+		case *ast.FuncDecl:
+			if dirs.Hotpath(n) {
+				hotFunc = n
+			} else if hotFunc != nil && (n.Pos() < hotFunc.Pos() || n.End() > hotFunc.End()) {
+				hotFunc = nil
+			}
+		case *ast.BinaryExpr:
+			if inTest || !(coreScope || within(n, hotFunc)) {
+				return
+			}
+			checkOneMinusExp(pass, report, n)
+			checkFloatEquality(pass, report, n)
+		case *ast.CallExpr:
+			if inTest || !(coreScope || within(n, hotFunc)) {
+				return
+			}
+			checkLogOnePlus(pass, report, n)
+		case *ast.AssignStmt:
+			if inTest || hotFunc == nil || !within(n, hotFunc) {
+				return
+			}
+			checkNaiveAccumulation(pass, report, hotFunc, n)
+		}
+	})
+	dirs.ReportStale(name, pass.Reportf)
+	return nil, nil
+}
+
+// within reports whether n lies inside fd's extent (fd may be nil).
+// Preorder has no scope exit events, so hotFunc can linger after the
+// walk leaves the function; the range check makes membership exact.
+func within(n ast.Node, fd *ast.FuncDecl) bool {
+	return fd != nil && fd.Pos() <= n.Pos() && n.End() <= fd.End()
+}
+
+// checkOneMinusExp flags 1 - math.Exp(x), math.Exp(x) - 1, and
+// 1 - numeric.ExpNeg(x): all three cancel catastrophically when the
+// exponential is near 1.
+func checkOneMinusExp(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), b *ast.BinaryExpr) {
+	if b.Op != token.SUB {
+		return
+	}
+	if isFloatConst(pass, b.X, 1) {
+		if callee := pkgFunc(pass, b.Y); callee != "" {
+			switch callee {
+			case "math.Exp":
+				report(b, "1 - math.Exp(x) cancels catastrophically for x near 0; use -math.Expm1(x) (or numeric.OneMinusExpNeg(-x) for the 1-e^(-x) form)")
+			case "numeric.ExpNeg":
+				report(b, "1 - numeric.ExpNeg(x) cancels catastrophically for x near 0; use numeric.OneMinusExpNeg(x)")
+			}
+		}
+	}
+	if isFloatConst(pass, b.Y, 1) && pkgFunc(pass, b.X) == "math.Exp" {
+		report(b, "math.Exp(x) - 1 cancels catastrophically for x near 0; use math.Expm1(x)")
+	}
+}
+
+// checkLogOnePlus flags math.Log(1 + x) and math.Log(1 - x) with a
+// non-constant x: the argument rounds to 1 long before x reaches zero,
+// so the log silently loses x entirely; math.Log1p keeps it.
+func checkLogOnePlus(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), call *ast.CallExpr) {
+	if pkgFunc(pass, call) != "math.Log" || len(call.Args) != 1 {
+		return
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.BinaryExpr)
+	if !ok || isConst(pass, arg) {
+		return
+	}
+	switch arg.Op {
+	case token.ADD:
+		if isFloatConst(pass, arg.X, 1) || isFloatConst(pass, arg.Y, 1) {
+			report(call, "math.Log(1 + x) loses x below 2^-53; use math.Log1p(x)")
+		}
+	case token.SUB:
+		if isFloatConst(pass, arg.X, 1) {
+			report(call, "math.Log(1 - x) loses x below 2^-53; use math.Log1p(-x)")
+		}
+	}
+}
+
+// checkFloatEquality flags ==/!= between float expressions outside the
+// sentinel forms that are exact by construction.
+func checkFloatEquality(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if !isFloatExpr(pass, b.X) || !isFloatExpr(pass, b.Y) {
+		return
+	}
+	// Sentinels: a compile-time constant on either side (0, 1, a named
+	// cap — exact by definition), an explicit ±Inf or NaN probe, the
+	// x == x self-test, and boundary comparisons between entries of the
+	// same table (both sides index one slice; table entries are
+	// bit-copied, never recomputed).
+	if isConst(pass, b.X) || isConst(pass, b.Y) {
+		return
+	}
+	if isInfOrNaNCall(pass, b.X) || isInfOrNaNCall(pass, b.Y) {
+		return
+	}
+	if types.ExprString(b.X) == types.ExprString(b.Y) {
+		return // x == x / x != x NaN probe
+	}
+	if sameTableIndex(b.X, b.Y) {
+		return
+	}
+	op := "=="
+	if b.Op == token.NEQ {
+		op = "!="
+	}
+	report(b, "%s %s %s compares computed floats exactly; compare against a sentinel constant or an explicit tolerance (or //soferr:allow floatprec <why>)",
+		types.ExprString(b.X), op, types.ExprString(b.Y))
+}
+
+// checkNaiveAccumulation flags `acc += x` on a float accumulator
+// declared outside the loop that runs it: across many iterations the
+// naive sum drifts by n·ulp, which is exactly what numeric.KahanSum
+// exists to stop.
+func checkNaiveAccumulation(pass *analysis.Pass, report func(ast.Node, string, ...interface{}), fd *ast.FuncDecl, assign *ast.AssignStmt) {
+	if assign.Tok != token.ADD_ASSIGN || len(assign.Lhs) != 1 {
+		return
+	}
+	lhs := assign.Lhs[0]
+	if !isFloatExpr(pass, lhs) {
+		return
+	}
+	loop := enclosingLoop(fd, assign)
+	if loop == nil {
+		return
+	}
+	// An accumulator created inside the loop body restarts every
+	// iteration; only accumulation across iterations drifts.
+	if id, ok := lhs.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && loop.Pos() <= obj.Pos() && obj.Pos() <= loop.End() {
+			return
+		}
+	}
+	report(assign, "hotpath accumulates %s with a naive += across loop iterations; use numeric.KahanSum for compensated summation (or //soferr:allow floatprec <why>)",
+		types.ExprString(lhs))
+}
+
+// enclosingLoop returns the innermost for/range statement in fd that
+// strictly contains n, or nil.
+func enclosingLoop(fd *ast.FuncDecl, n ast.Node) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(fd, func(cand ast.Node) bool {
+		switch cand.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if cand.Pos() < n.Pos() && n.End() <= cand.End() {
+				found = cand.(ast.Stmt) // keep the innermost
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// pkgFunc returns "pkg.Func" for a call (or callee expression) of a
+// package-level function, or "".
+func pkgFunc(pass *analysis.Pass, e ast.Expr) string {
+	var fun ast.Expr
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fun = e.Fun
+	default:
+		return ""
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+func isFloatExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether e has a compile-time constant value.
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}
+
+// isFloatConst reports whether e is a compile-time constant equal to
+// the given float value (covers 1, 1.0, and named constants).
+func isFloatConst(pass *analysis.Pass, e ast.Expr, want float64) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+	default:
+		return false
+	}
+	f, ok := constant.Float64Val(tv.Value)
+	return ok && f == want
+}
+
+func isInfOrNaNCall(pass *analysis.Pass, e ast.Expr) bool {
+	switch pkgFunc(pass, e) {
+	case "math.Inf", "math.NaN":
+		return true
+	}
+	return false
+}
+
+// sameTableIndex reports whether both expressions are index
+// expressions over the same identifier spelling — the exact-table-
+// boundary comparison idiom (xs[i] == xs[j], m.cumHaz[i] == m.cumHaz[i+1]).
+func sameTableIndex(x, y ast.Expr) bool {
+	ix, ok := ast.Unparen(x).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	iy, ok := ast.Unparen(y).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	return types.ExprString(ix.X) == types.ExprString(iy.X)
+}

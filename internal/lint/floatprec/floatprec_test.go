@@ -1,0 +1,12 @@
+package floatprec_test
+
+import (
+	"testing"
+
+	"github.com/soferr/soferr/internal/lint/floatprec"
+	"github.com/soferr/soferr/internal/lint/linttest"
+)
+
+func TestFloatprec(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), floatprec.Analyzer, "fprec", "fphot")
+}

@@ -1,0 +1,97 @@
+// Package fphot seeds floatprec cases for //soferr:hotpath functions
+// in a package that is NOT deterministic-core: only the hot functions
+// are checked, and the naive-accumulation rule applies inside them.
+package fphot
+
+import (
+	"math"
+
+	"numeric"
+)
+
+//soferr:hotpath
+func hotOneMinusExp(x float64) float64 {
+	return 1 - math.Exp(-x) // want `1 - math\.Exp\(x\) cancels catastrophically`
+}
+
+//soferr:hotpath
+func hotNaiveSum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x // want `hotpath accumulates sum with a naive \+= across loop iterations`
+	}
+	return sum
+}
+
+//soferr:hotpath
+func hotNestedNaiveSum(xss [][]float64) float64 {
+	total := 0.0
+	for _, xs := range xss {
+		for _, x := range xs {
+			total += x // want `hotpath accumulates total with a naive \+= across loop iterations`
+		}
+	}
+	return total
+}
+
+//soferr:hotpath
+func hotKahanSum(xs []float64) float64 {
+	var k numeric.KahanSum
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}
+
+//soferr:hotpath
+func hotPerIterationAccumulator(xs []float64) float64 {
+	last := 0.0
+	for _, x := range xs {
+		delta := 0.0
+		delta += x // restarts every iteration; no drift across the loop
+		last = delta
+	}
+	return last
+}
+
+//soferr:hotpath
+func hotIntCounter(xs []float64) int {
+	n := 0
+	for range xs {
+		n += 1 // integer accumulation is exact
+	}
+	return n
+}
+
+//soferr:hotpath
+func hotNoLoopAccumulate(k *numeric.KahanSum, x float64) {
+	// += outside any loop is a single rounding, not a drift.
+	x += 1
+	k.Add(x)
+}
+
+//soferr:hotpath
+func hotAllowedClock(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x //soferr:allow floatprec arrival clock; the running value is semantically the sum of its own draws
+	}
+	return t
+}
+
+// cold functions in a non-core package are not floatprec's business.
+func coldOneMinusExp(x float64) float64 {
+	return 1 - math.Exp(-x)
+}
+
+func coldEquality(a, b float64) bool {
+	return a == b
+}
+
+func coldNaiveSum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

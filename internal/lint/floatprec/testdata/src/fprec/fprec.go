@@ -1,0 +1,94 @@
+// Package fprec seeds positive and negative cases for the floatprec
+// analyzer inside a deterministic-core package.
+//
+//soferr:deterministic
+package fprec
+
+import (
+	"math"
+
+	"numeric"
+)
+
+// --- 1 - exp cancellation ---
+
+func oneMinusExp(x float64) float64 {
+	return 1 - math.Exp(-x) // want `1 - math\.Exp\(x\) cancels catastrophically`
+}
+
+func expMinusOne(x float64) float64 {
+	return math.Exp(x) - 1 // want `math\.Exp\(x\) - 1 cancels catastrophically`
+}
+
+func oneMinusExpNegHelper(x float64) float64 {
+	return 1 - numeric.ExpNeg(x) // want `1 - numeric\.ExpNeg\(x\) cancels catastrophically`
+}
+
+func stableForms(x float64) float64 {
+	return -math.Expm1(-x) + numeric.OneMinusExpNeg(x)
+}
+
+func unrelatedSubtraction(x float64) float64 {
+	return 1 - x // plain arithmetic; no exponential involved
+}
+
+// --- log(1±x) ---
+
+func logOnePlus(x float64) float64 {
+	return math.Log(1 + x) // want `math\.Log\(1 \+ x\) loses x below 2\^-53`
+}
+
+func logPlusOne(x float64) float64 {
+	return math.Log(x + 1) // want `math\.Log\(1 \+ x\) loses x below 2\^-53`
+}
+
+func logOneMinus(x float64) float64 {
+	return math.Log(1 - x) // want `math\.Log\(1 - x\) loses x below 2\^-53`
+}
+
+func logStable(x float64) float64 {
+	return math.Log1p(x) + math.Log(2+x) + math.Log(1+0.5)
+}
+
+// --- float equality ---
+
+const tableCap = 4096.0
+
+func eqComputed(a, b float64) bool {
+	return a == b // want `a == b compares computed floats exactly`
+}
+
+func neqComputed(a, b float64) bool {
+	return a != b // want `a != b compares computed floats exactly`
+}
+
+func eqSentinels(a float64, xs []float64, i int) bool {
+	zero := a == 0
+	one := a == 1.0
+	capHit := a == tableCap
+	inf := a == math.Inf(1)
+	nan := a != a
+	boundary := xs[i] == xs[i+1]
+	return zero || one || capHit || inf || nan || boundary
+}
+
+func eqCrossTable(xs, ys []float64, i int) bool {
+	return xs[i] == ys[i] // want `xs\[i\] == ys\[i\] compares computed floats exactly`
+}
+
+func eqAllowed(a, b float64) bool {
+	return a == b //soferr:allow floatprec bisection termination; both sides come from the same assignment
+}
+
+func eqUnjustified(a, b float64) bool {
+	/* want `soferr:allow floatprec needs a justification` */ //soferr:allow floatprec
+	return a == b                                             // want `a == b compares computed floats exactly`
+}
+
+func staleAllowLine(a float64) float64 {
+	/* want `soferr:allow floatprec suppresses no floatprec diagnostic` */ //soferr:allow floatprec the comparison this excused was rewritten
+	return a * 2
+}
+
+// intEquality is fine: exactness is the point of integers.
+func intEquality(a, b int) bool { return a == b }

@@ -1,0 +1,24 @@
+// Package numeric is a testdata stand-in for the repo's numeric
+// toolkit, so the floatprec fixtures can exercise the
+// numeric.ExpNeg/OneMinusExpNeg recognition by package name.
+package numeric
+
+import "math"
+
+func ExpNeg(x float64) float64 { return math.Exp(-x) }
+
+func OneMinusExpNeg(x float64) float64 { return -math.Expm1(-x) }
+
+type KahanSum struct{ sum, c float64 }
+
+func (k *KahanSum) Add(x float64) {
+	t := k.sum + x
+	if math.Abs(k.sum) >= math.Abs(x) {
+		k.c += (k.sum - t) + x
+	} else {
+		k.c += (x - t) + k.sum
+	}
+	k.sum = t
+}
+
+func (k *KahanSum) Sum() float64 { return k.sum + k.c }

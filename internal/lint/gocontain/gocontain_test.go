@@ -1,0 +1,12 @@
+package gocontain_test
+
+import (
+	"testing"
+
+	"github.com/soferr/soferr/internal/lint/gocontain"
+	"github.com/soferr/soferr/internal/lint/linttest"
+)
+
+func TestGocontain(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), gocontain.Analyzer, "gorun", "gocon")
+}

@@ -1,0 +1,9 @@
+package gocon
+
+// Test files are exempt: chaos tests launch goroutines that crash on
+// purpose, and requiring containment there would defeat them.
+func crashForTest() {
+	go func() {
+		panic("deliberate")
+	}()
+}

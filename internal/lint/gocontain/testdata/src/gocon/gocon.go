@@ -1,0 +1,107 @@
+// Package gocon seeds positive and negative cases for the gocontain
+// analyzer. The package opts into containment scope with the marker
+// below; every go statement must launch a recover-bearing goroutine, a
+// known contained runner, or carry a justified allow.
+//
+//soferr:contained
+package gocon
+
+import "gorun"
+
+// localRunner is a same-package contained runner.
+func localRunner() {
+	defer func() {
+		if rec := recover(); rec != nil {
+			_ = rec
+		}
+	}()
+	step()
+}
+
+// localBare is not contained.
+func localBare() { step() }
+
+func step() {}
+
+func literalContained() {
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				_ = rec
+			}
+		}()
+		step()
+	}()
+}
+
+// literalSecondDefer mirrors the server compile goroutine: the recover
+// defer is the second top-level defer, which still contains the panic.
+func literalSecondDefer(done chan struct{}) {
+	go func() {
+		defer close(done)
+		defer func() { _ = recover() }()
+		step()
+	}()
+}
+
+func literalBare() {
+	go func() { // want `go statement launches a goroutine without a top-level recover-bearing defer`
+		step()
+	}()
+}
+
+// literalNestedRecover buries the recover inside a branch; the defer
+// itself is not top-level, so the goroutine is still uncontained.
+func literalNestedRecover(deep bool) {
+	go func() { // want `go statement launches a goroutine without a top-level recover-bearing defer`
+		if deep {
+			defer func() { _ = recover() }()
+		}
+		step()
+	}()
+}
+
+func namedLocalContained() {
+	go localRunner()
+}
+
+func namedLocalBare() {
+	go localBare() // want `go statement launches localBare, which is not a known contained runner`
+}
+
+func namedImportedContained() {
+	go gorun.Runner()
+}
+
+func namedImportedBare() {
+	go gorun.Bare() // want `go statement launches gorun\.Bare, which is not a known contained runner`
+}
+
+func methodImportedContained(p *gorun.Pool) {
+	go p.Drain()
+}
+
+func methodImportedBare(p *gorun.Pool) {
+	go p.Fill() // want `go statement launches p\.Fill, which is not a known contained runner`
+}
+
+func allowedEmitter(out chan int) {
+	//soferr:allow gocontain body is a single channel send; nothing in it can panic
+	go func() {
+		out <- 1
+	}()
+}
+
+// unjustifiedAllow shows a bare allow is flagged AND suppresses
+// nothing: the goroutine underneath is still diagnosed.
+func unjustifiedAllow(out chan int) {
+	/* want `soferr:allow gocontain needs a justification` */ //soferr:allow gocontain
+	go func() {                                               // want `go statement launches a goroutine without a top-level recover-bearing defer`
+		out <- 1
+	}()
+}
+
+func staleAllow() {
+	/* want `soferr:allow gocontain suppresses no gocontain diagnostic` */ //soferr:allow gocontain the bare goroutine this excused is gone
+	go localRunner()
+}

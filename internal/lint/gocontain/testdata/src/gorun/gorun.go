@@ -1,0 +1,33 @@
+// Package gorun is a dependency package for the gocontain tests: it
+// is NOT containment-scoped itself, but its contained runners are
+// exported through the Contained package fact so a scoped consumer can
+// launch them with a bare go statement.
+package gorun
+
+// Runner is a contained runner: its body opens with a recover-bearing
+// defer, so a panic anywhere inside cannot escape the goroutine.
+func Runner() {
+	defer func() {
+		if rec := recover(); rec != nil {
+			_ = rec
+		}
+	}()
+	work()
+}
+
+// Bare has no containment; launching it with go leaks panics.
+func Bare() { work() }
+
+// Pool carries a contained method runner.
+type Pool struct{ n int }
+
+// Drain is contained: the recover defer is its first statement.
+func (p *Pool) Drain() {
+	defer func() { _ = recover() }()
+	p.n = 0
+}
+
+// Fill is not contained.
+func (p *Pool) Fill() { p.n++ }
+
+func work() {}

@@ -51,6 +51,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 		check(pass, dirs, fd)
 	})
+	dirs.ReportStale(name, pass.Reportf)
 	return nil, nil
 }
 

@@ -70,6 +70,12 @@ func coldUnjustified() {
 	/* want `soferr:allow hotpath needs a justification` */ //soferr:allow hotpath
 }
 
+//soferr:hotpath
+func hotStaleAllow(x float64) float64 {
+	/* want `soferr:allow hotpath suppresses no hotpath diagnostic` */ //soferr:allow hotpath excuses nothing; the fmt call it covered is gone
+	return x * 2
+}
+
 // cold is not annotated, so nothing in it is checked.
 func cold(xs []float64) []float64 {
 	var out []float64

@@ -1,19 +1,26 @@
-// Package lint assembles the soferrlint analyzer suite: the five
+// Package lint assembles the soferrlint analyzer suite: the eight
 // custom go/analysis analyzers that statically enforce this repo's
-// determinism, hot-path, error, context, and fault-injection
-// contracts (see DESIGN.md, "Static contracts").
+// determinism, hot-path, numeric-precision, allocation, error,
+// context, fault-injection, and panic-containment contracts (see
+// DESIGN.md, "Static contracts").
 //
 // The suite runs through cmd/soferrlint, standalone or as a
 // `go vet -vettool`; each analyzer also works on its own under any
-// go/analysis driver.
+// go/analysis driver. The compiler-verified escape baseline
+// (internal/lint/escape) is a separate driver mode — `soferrlint
+// escape` — because it needs whole-module `go build` output rather
+// than per-package type-checked ASTs.
 package lint
 
 import (
 	"golang.org/x/tools/go/analysis"
 
+	"github.com/soferr/soferr/internal/lint/allocfree"
 	"github.com/soferr/soferr/internal/lint/ctxflow"
 	"github.com/soferr/soferr/internal/lint/errcontract"
 	"github.com/soferr/soferr/internal/lint/faultpoint"
+	"github.com/soferr/soferr/internal/lint/floatprec"
+	"github.com/soferr/soferr/internal/lint/gocontain"
 	"github.com/soferr/soferr/internal/lint/hotpath"
 	"github.com/soferr/soferr/internal/lint/nondeterminism"
 )
@@ -23,8 +30,11 @@ func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nondeterminism.Analyzer,
 		hotpath.Analyzer,
+		floatprec.Analyzer,
+		allocfree.Analyzer,
 		errcontract.Analyzer,
 		ctxflow.Analyzer,
 		faultpoint.Analyzer,
+		gocontain.Analyzer,
 	}
 }

@@ -38,6 +38,9 @@ var KnownChecks = map[string]bool{
 	"errcontract":    true,
 	"ctxflow":        true,
 	"faultpoint":     true,
+	"floatprec":      true,
+	"allocfree":      true,
+	"gocontain":      true,
 }
 
 var Analyzer = &analysis.Analyzer{
@@ -45,17 +48,6 @@ var Analyzer = &analysis.Analyzer{
 	Doc:      "forbid wall clocks, global math/rand, and order-feeding map iteration in the deterministic core",
 	Requires: []*analysis.Analyzer{inspect.Analyzer, directive.Analyzer},
 	Run:      run,
-}
-
-// corePaths are the deterministic-core packages recognized by import
-// path even without the //soferr:deterministic marker.
-var corePaths = map[string]bool{
-	"github.com/soferr/soferr":                     true,
-	"github.com/soferr/soferr/internal/trace":      true,
-	"github.com/soferr/soferr/internal/montecarlo": true,
-	"github.com/soferr/soferr/internal/sweep":      true,
-	"github.com/soferr/soferr/internal/xrand":      true,
-	"github.com/soferr/soferr/internal/numeric":    true,
 }
 
 // wallClockFuncs are the time-package functions whose results depend
@@ -75,10 +67,11 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		pass.Reportf(a.Pos, "soferr:allow %s needs a justification (\"//soferr:allow %s <why>\")", name, name)
 	}
 	for _, a := range dirs.UnknownChecks(KnownChecks) {
-		pass.Reportf(a.Pos, "soferr:allow names unknown check %q (want one of nondeterminism, hotpath, errcontract, ctxflow, faultpoint)", a.Check)
+		pass.Reportf(a.Pos, "soferr:allow names unknown check %q (want one of nondeterminism, hotpath, errcontract, ctxflow, faultpoint, floatprec, allocfree, gocontain)", a.Check)
 	}
 
-	if !dirs.Deterministic() && !corePaths[pass.Pkg.Path()] {
+	if !dirs.Deterministic() && !directive.CorePaths[pass.Pkg.Path()] {
+		dirs.ReportStale(name, pass.Reportf)
 		return nil, nil
 	}
 
@@ -127,6 +120,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			checkMapRange(pass, report, n)
 		}
 	})
+	dirs.ReportStale(name, pass.Reportf)
 	return nil, nil
 }
 

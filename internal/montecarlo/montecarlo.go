@@ -646,12 +646,13 @@ func reseedTrialStream(r *xrand.Rand, seed, trial uint64) {
 func trialSuperposed(components []Component, total float64, alias *aliasTable, r *xrand.Rand, maxArrivals int) (float64, error) {
 	t := 0.0
 	for n := 0; n < maxArrivals; n++ {
-		t += r.Exp(total)
+		t += r.Exp(total) //soferr:allow floatprec arrival clock; compensated summation would reorder the rounding and change every seeded trial result, and the clock's error is dwarfed by Monte-Carlo error
 		c := pick(components, total, alias, r)
 		if r.Bool(c.Trace.VulnAt(t)) {
 			return t, nil
 		}
 	}
+	//soferr:allow allocfree abort path past the arrival cap; the error formatting boxes its arguments off the steady state
 	return 0, fmt.Errorf("montecarlo: trial exceeded %d arrivals without failure", maxArrivals) //soferr:allow hotpath abort path past the arrival cap; allocating off the steady state is fine
 }
 
@@ -670,7 +671,7 @@ func pick(components []Component, total float64, alias *aliasTable, r *xrand.Ran
 	u := r.Float64() * total
 	acc := 0.0
 	for i := range components {
-		acc += components[i].Rate
+		acc += components[i].Rate //soferr:allow floatprec CDF walk over the component rates; the alias table and this scan must keep making bitwise-identical picks for the seeded streams, and a pick is correct to within one ulp of the rate sum either way
 		if u < acc {
 			return &components[i]
 		}
@@ -710,7 +711,7 @@ func thinFirstArrival(c *Component, r *xrand.Rand, cutoff float64, maxArrivals i
 		return 0, false, nil
 	}
 	for n := 0; n < maxArrivals; n++ {
-		t += r.Exp(c.Rate)
+		t += r.Exp(c.Rate) //soferr:allow floatprec arrival clock; compensated summation would reorder the rounding and change every seeded trial result, and the clock's error is dwarfed by Monte-Carlo error
 		if t >= cutoff {
 			return 0, false, nil
 		}
@@ -718,5 +719,6 @@ func thinFirstArrival(c *Component, r *xrand.Rand, cutoff float64, maxArrivals i
 			return t, true, nil
 		}
 	}
+	//soferr:allow allocfree abort path past the arrival cap; the error formatting boxes its arguments off the steady state
 	return 0, false, fmt.Errorf("montecarlo: component %s exceeded %d arrivals", c.Name, maxArrivals) //soferr:allow hotpath abort path past the arrival cap; allocating off the steady state is fine
 }

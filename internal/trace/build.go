@@ -153,7 +153,7 @@ func WeightedUnion(weights []float64, traces []*Piecewise) (*Piecewise, error) {
 	period := traces[0].period
 	totalW := 0.0
 	for i, w := range traces {
-		if w.period != period {
+		if w.period != period { //soferr:allow floatprec period identity is the documented contract: union members must share one period bit for bit, and a near-miss must be rejected, not tolerated
 			return nil, fmt.Errorf("trace: period mismatch: trace %d has %v, want %v", i, w.period, period)
 		}
 		if weights[i] < 0 {

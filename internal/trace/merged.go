@@ -135,7 +135,7 @@ func hyperperiod(traces []*Piecewise, maxSegments int) (reps []int64, period flo
 	// Equal-period fast path (the common case: one workload family).
 	equal := true
 	for _, tr := range traces[1:] {
-		if tr.period != traces[0].period {
+		if tr.period != traces[0].period { //soferr:allow floatprec equal-period fast-path probe; a last-ulp mismatch safely falls through to the dyadic LCM path, which handles it exactly
 			equal = false
 			break
 		}
@@ -235,7 +235,7 @@ func mergeHazard(rates []float64, traces []*Piecewise, reps []int64, period floa
 		if bound > period {
 			bound = period
 		}
-		if n := len(m.haz); n > 0 && m.haz[n-1] == h {
+		if n := len(m.haz); n > 0 && m.haz[n-1] == h { //soferr:allow floatprec coalescing bitwise-identical adjacent hazard rows; a near-equal miss only costs one extra table row, never a wrong value
 			// Merge adjacent equal-hazard spans.
 		} else {
 			m.starts = append(m.starts, t)

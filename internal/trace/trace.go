@@ -118,10 +118,10 @@ func NewPiecewise(segs []Segment) (*Piecewise, error) {
 		if s.Vuln < 0 || s.Vuln > 1 || math.IsNaN(s.Vuln) {
 			return nil, fmt.Errorf("trace: segment %d vulnerability %v outside [0,1]", i, s.Vuln)
 		}
-		if i > 0 && s.Start != segs[i-1].End {
+		if i > 0 && s.Start != segs[i-1].End { //soferr:allow floatprec segments must tile the period exactly; bitwise contiguity is the documented input contract and a gap must be rejected, not bridged
 			return nil, fmt.Errorf("trace: gap between segment %d end %v and segment %d start %v", i-1, segs[i-1].End, i, s.Start)
 		}
-		if n := len(merged); n > 0 && merged[n-1].Vuln == s.Vuln {
+		if n := len(merged); n > 0 && merged[n-1].Vuln == s.Vuln { //soferr:allow floatprec coalescing bitwise-identical adjacent vulnerabilities; a near-equal miss only keeps an extra segment, never changes VulnAt
 			merged[n-1].End = s.End
 			continue
 		}
@@ -257,7 +257,7 @@ func (p *Piecewise) ExposureQuantile(q float64) float64 {
 // sweeps, LongLoop phases — pay the walk once.
 func (p *Piecewise) SurvivalIntegral(rate float64) (integral, exposure float64) {
 	if p.surv != nil {
-		if e := p.surv.entry.Load(); e != nil && e.rate == rate {
+		if e := p.surv.entry.Load(); e != nil && e.rate == rate { //soferr:allow floatprec memo-cache key identity; a near-miss rate only recomputes the walk, and a tolerance here would silently return the wrong rate's integral
 			return e.integral, e.exposure
 		}
 	}
