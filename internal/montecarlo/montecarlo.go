@@ -221,6 +221,12 @@ var ErrTrialPanic = errors.New("montecarlo: trial worker panicked")
 // trialBlock trials.
 const fiTrialPoint = "montecarlo.trial"
 
+// fiRelayPoint is the chaos-test injection point hit once per run at
+// the start of the context-cancellation relay goroutine (which only
+// exists for contexts with a Done channel). Disarmed it costs one
+// atomic load per run.
+const fiRelayPoint = "montecarlo.cancelrelay"
+
 // Compiled is a validated series system with every engine's shared
 // precomputation done once — rate totals, the alias table for
 // superposed component attribution, and the exposure-inversion samplers
@@ -376,24 +382,22 @@ func (c *Compiled) run(ctx context.Context, cfg Config, collect bool) (Result, [
 	}
 
 	br := &blockRunner{trial: trial, seed: cfg.Seed}
-	// Relay ctx cancellation onto the flag the trial loops already
-	// poll, so a context check costs one atomic load per trial instead
-	// of a channel select.
-	if done := ctx.Done(); done != nil {
-		stop := make(chan struct{})
-		defer close(stop)
-		go func() {
-			select {
-			case <-done:
-				br.canceled.Store(true)
-			case <-stop:
-			}
-		}()
-	}
+	stopRelay := br.startCancelRelay(ctx)
+	defer stopRelay()
 
 	if cfg.TargetRelStdErr > 0 && !collect {
 		res, err := c.runAdaptive(ctx, br, cfg.TargetRelStdErr, trials, workers)
-		return res, nil, err
+		// Join the relay before deciding the outcome, so a relay-side
+		// failure (today only an injected chaos fault) is never lost to
+		// a round boundary that happened to precede it.
+		stopRelay()
+		if err == nil {
+			err = br.err()
+		}
+		if err != nil {
+			return Result{}, nil, err
+		}
+		return res, nil, nil
 	}
 
 	var samples []float64
@@ -405,13 +409,17 @@ func (c *Compiled) run(ctx context.Context, cfg Config, collect bool) (Result, [
 		accs = make([]numeric.Welford, numBlocks)
 	}
 	br.runRange(0, trials, workers, accs, samples)
+	// Join the relay before reading the error state: its failure path
+	// writes trialErr, and stopping it here makes the read race-free
+	// and the injected-fault tests deterministic.
+	stopRelay()
 	// Context cancellation wins over trial errors: the caller asked the
 	// run to stop, and partial-trial errors after that are moot.
 	if err := ctx.Err(); err != nil {
 		return Result{}, nil, err
 	}
-	if br.trialErr != nil {
-		return Result{}, nil, br.trialErr
+	if err := br.err(); err != nil {
+		return Result{}, nil, err
 	}
 
 	if collect {
@@ -507,8 +515,8 @@ func (c *Compiled) runAdaptive(ctx context.Context, br *blockRunner, target floa
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		if br.trialErr != nil {
-			return Result{}, br.trialErr
+		if err := br.err(); err != nil {
+			return Result{}, err
 		}
 		for _, acc := range accs {
 			merged.Merge(acc)
@@ -546,6 +554,57 @@ func (br *blockRunner) fail(err error) {
 	// One bad trace means every sibling's remaining trials are wasted
 	// work: cancel instead of burning the trial budget.
 	br.canceled.Store(true)
+}
+
+// err returns the first recorded trial error. Reads go through the
+// lock because the cancellation relay can record a failure while
+// adaptive rounds are still consulting the error state.
+func (br *blockRunner) err() error {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return br.trialErr
+}
+
+// startCancelRelay mirrors ctx cancellation onto the canceled flag the
+// trial loops already poll, so a context check costs one atomic load
+// per trial instead of a channel select. A context that can never be
+// canceled needs no relay and gets a no-op stop. The returned stop
+// function is idempotent and joins the goroutine, so a caller that
+// stops the relay before reading the error state observes any
+// relay-side failure.
+func (br *blockRunner) startCancelRelay(ctx context.Context) (stop func()) {
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	joined := make(chan struct{})
+	go func() {
+		defer close(joined)
+		// The relay shares the workers' containment contract: a panic
+		// here — reachable today only through the chaos injection point
+		// below — becomes a typed trial error on the estimate path
+		// instead of killing the process.
+		defer func() {
+			if rec := recover(); rec != nil {
+				br.fail(fmt.Errorf("%w: cancellation relay: %v\n%s", ErrTrialPanic, rec, debug.Stack()))
+			}
+		}()
+		if err := faultinject.Fire(fiRelayPoint); err != nil {
+			br.fail(err)
+			return
+		}
+		select {
+		case <-done:
+			br.canceled.Store(true)
+		case <-quit:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(quit) })
+		<-joined
+	}
 }
 
 // runRange executes trials [lo, hi) of the absolute trial-index space;

@@ -107,6 +107,69 @@ func TestInjectedTrialPanicContained(t *testing.T) {
 	}
 }
 
+// TestInjectedRelayPanicContained pins the containment of the
+// context-cancellation relay goroutine: an armed montecarlo.cancelrelay
+// panic rule fires inside the relay (which only runs for cancelable
+// contexts), and the run must survive it and report a typed
+// ErrTrialPanic instead of crashing the process. Disarmed, the
+// identical cancelable-context run must match a Background-context run
+// bit-for-bit — the relay never perturbs results.
+func TestInjectedRelayPanicContained(t *testing.T) {
+	tr := busyIdle(t, 10, 5)
+	comp := []Component{{Name: "c", Rate: 0.1, Trace: tr}}
+	cfg := Config{Trials: 8192, Seed: 1, Engine: Inverted, Workers: 4}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	disarm := faultinject.Arm(faultinject.Schedule{Rules: []faultinject.Rule{
+		{Point: "montecarlo.cancelrelay", PanicMsg: "relay chaos"},
+	}})
+	_, err := SystemMTTF(ctx, comp, cfg)
+	disarm()
+	if !errors.Is(err, ErrTrialPanic) {
+		t.Fatalf("injected relay panic: err = %v, want ErrTrialPanic", err)
+	}
+	if !strings.Contains(err.Error(), "cancellation relay") || !strings.Contains(err.Error(), "relay chaos") {
+		t.Errorf("error %q lacks the relay panic detail", err)
+	}
+
+	want, err := SystemMTTF(context.Background(), comp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SystemMTTF(ctx, comp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("cancelable-context run differs from reference: %+v vs %+v", got, want)
+	}
+}
+
+// TestInjectedRelayErrorContained: an injected error (no panic) at the
+// relay point also fails the run cleanly, wrapping ErrInjected — on
+// the adaptive path too, where the relay failure must not be lost to a
+// round boundary that converged first.
+func TestInjectedRelayErrorContained(t *testing.T) {
+	tr := busyIdle(t, 10, 5)
+	comp := []Component{{Name: "c", Rate: 0.1, Trace: tr}}
+	for _, cfg := range []Config{
+		{Trials: 8192, Seed: 1, Engine: Inverted},
+		{Trials: 8192, Seed: 1, Engine: Inverted, TargetRelStdErr: 0.05},
+	} {
+		disarm := faultinject.Arm(faultinject.Schedule{Rules: []faultinject.Rule{
+			{Point: "montecarlo.cancelrelay"},
+		}})
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := SystemMTTF(ctx, comp, cfg)
+		cancel()
+		disarm()
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("adaptive=%v: err = %v, want ErrInjected", cfg.TargetRelStdErr > 0, err)
+		}
+	}
+}
+
 // TestInjectedTrialErrorContained: an injected error (no panic) at the
 // trial point also fails the run cleanly, wrapping ErrInjected.
 func TestInjectedTrialErrorContained(t *testing.T) {
