@@ -82,6 +82,7 @@ fuzz-smoke:
 	$(GO) test -run FuzzSpecDecode -fuzz FuzzSpecDecode -fuzztime 15s .
 	$(GO) test -run FuzzExactEngine -fuzz FuzzExactEngine -fuzztime 15s .
 	$(GO) test -run FuzzMergedExposure -fuzz FuzzMergedExposure -fuzztime 15s ./internal/trace
+	$(GO) test -run FuzzBatchedInversion -fuzz FuzzBatchedInversion -fuzztime 15s ./internal/trace
 
 # bench-go runs the full go-test benchmark suite (experiments +
 # substrates) without writing the JSON report.

@@ -138,9 +138,12 @@ func (e *APIError) retryable() bool { return e.Status == http.StatusServiceUnava
 // Options are the estimate options shared by MTTF and Compare,
 // mirroring the server's wire fields.
 type Options struct {
-	Trials          int     `json:"trials,omitempty"`
-	Seed            uint64  `json:"seed,omitempty"`
-	Engine          string  `json:"engine,omitempty"`
+	Trials int    `json:"trials,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	// Sampler is the Monte-Carlo draw source ("pcg" default, "sobol"
+	// for quasi-Monte-Carlo); unknown names are permanent 422s.
+	Sampler         string  `json:"sampler,omitempty"`
 	TargetRelStdErr float64 `json:"target_rel_stderr,omitempty"`
 	Workers         int     `json:"workers,omitempty"`
 	TimeoutMS       int64   `json:"timeout_ms,omitempty"`
@@ -223,6 +226,7 @@ type SweepRequest struct {
 	Seed            uint64              `json:"seed,omitempty"`
 	Trials          int                 `json:"trials,omitempty"`
 	Engine          string              `json:"engine,omitempty"`
+	Sampler         string              `json:"sampler,omitempty"`
 	TargetRelStdErr float64             `json:"target_rel_stderr,omitempty"`
 	Workers         int                 `json:"workers,omitempty"`
 	TimeoutMS       int64               `json:"timeout_ms,omitempty"`

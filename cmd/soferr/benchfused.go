@@ -27,6 +27,40 @@ type fusedScalingEntry struct {
 	FusedAlloc    int64   `json:"fused_allocs_per_trial"`
 }
 
+// batchedBlockEntry records per-trial cost of the Fused engine's
+// batched inversion kernel at one block size B on the N=64 profile,
+// framed against both scalar baselines: the scalar fused kernel
+// (BatchSize 1, same engine, batching alone) and the scalar Inverted
+// engine (the pre-fused per-component path, kernel + merge combined).
+type batchedBlockEntry struct {
+	BlockSize       int     `json:"block_size"`
+	BatchedNsOp     float64 `json:"batched_ns_per_trial"`
+	SpeedupFused    float64 `json:"speedup_vs_scalar_fused"`
+	SpeedupInverted float64 `json:"speedup_vs_scalar_inverted"`
+}
+
+// batchedReport is the `batched` section of BENCH_fused.json: the
+// scalar baselines at N=64 plus one row per block size.
+type batchedReport struct {
+	Components       int                 `json:"components"`
+	ScalarFusedNs    float64             `json:"scalar_fused_ns_per_trial"`
+	ScalarInvertedNs float64             `json:"scalar_inverted_ns_per_trial"`
+	Blocks           []batchedBlockEntry `json:"blocks"`
+}
+
+// qmcReport is the `qmc` section of BENCH_fused.json: adaptive
+// trials-to-target under the PCG sampler vs the scrambled-Sobol
+// sampler on the paper's SPEC-trace profile.
+type qmcReport struct {
+	Target       float64 `json:"target_rel_stderr"`
+	PCGTrials    int     `json:"pcg_trials_to_target"`
+	PCGRelSE     float64 `json:"pcg_rel_stderr"`
+	SobolTrials  int     `json:"sobol_trials_to_target"`
+	SobolRelSE   float64 `json:"sobol_rel_stderr"`
+	TrialsRatio  float64 `json:"sobol_trials_fraction_of_pcg"`
+	TrialsSaved  float64 `json:"trials_saved_fraction"`
+}
+
 // fusedAdaptiveReport compares a fixed-trial run against an adaptive
 // TargetRelStdErr run on the paper's SPEC-trace profile.
 type fusedAdaptiveReport struct {
@@ -49,6 +83,8 @@ type fusedBenchReport struct {
 	GOARCH    string              `json:"goarch"`
 	Scaling   []fusedScalingEntry `json:"scaling"`
 	SpeedupAt map[string]float64  `json:"speedup_at_n"`
+	Batched   batchedReport       `json:"batched"`
+	QMC       qmcReport           `json:"qmc"`
 	Adaptive  fusedAdaptiveReport `json:"adaptive"`
 }
 
@@ -75,9 +111,11 @@ func fusedBenchComponents(n int) []montecarlo.Component {
 
 // runFusedBench measures the tentpole claims and writes
 // BENCH_fused.json: per-trial ns for N in {1, 4, 16, 64, 256}
-// components under Inverted vs Fused (expect linear vs flat), plus
-// adaptive trials-to-target vs the fixed-200k default on the SPEC
-// trace.
+// components under Inverted vs Fused (expect linear vs flat), the
+// batched inversion kernel at B in {16, 64, 256} vs both scalar
+// baselines at N=64, adaptive trials-to-target vs the fixed-200k
+// default on the SPEC trace, and PCG-vs-Sobol trials to the same
+// target.
 func runFusedBench(ctx context.Context, stdout, stderr io.Writer, outPath string, verbose bool) error {
 	logf := func(format string, args ...interface{}) {
 		if verbose {
@@ -90,6 +128,8 @@ func runFusedBench(ctx context.Context, stdout, stderr io.Writer, outPath string
 		SpeedupAt: make(map[string]float64),
 	}
 
+	var n64 *montecarlo.Compiled
+	var n64Inverted float64
 	for _, n := range []int{1, 4, 16, 64, 256} {
 		compiled, err := montecarlo.Compile(fusedBenchComponents(n))
 		if err != nil {
@@ -135,7 +175,61 @@ func runFusedBench(ctx context.Context, stdout, stderr io.Writer, outPath string
 		report.SpeedupAt[fmt.Sprintf("%d", n)] = entry.Speedup
 		fmt.Fprintf(stdout, "%-22s N=%-4d inverted %10.1f ns/trial  fused %8.1f ns/trial  %5.1fx\n",
 			"FusedScaling", n, entry.InvertedNsOp, entry.FusedNsOp, entry.Speedup)
+		if n == 64 {
+			n64 = compiled
+			n64Inverted = entry.InvertedNsOp
+		}
 	}
+
+	// Batched inversion kernel on the N=64 profile: the scalar fused
+	// kernel (BatchSize 1) isolates what batching alone buys, and the
+	// scalar Inverted baseline from the scaling loop frames the full
+	// batched-fused-vs-per-component gap the acceptance test pins.
+	batched := batchedReport{Components: 64, ScalarInvertedNs: n64Inverted}
+	measureFused := func(batchSize int) (float64, error) {
+		logf("bench batched N=64 B=%d", batchSize)
+		if _, err := n64.MTTF(ctx, montecarlo.Config{
+			Trials: 64, Seed: 1, Engine: montecarlo.Fused, Workers: 1, BatchSize: batchSize,
+		}); err != nil {
+			return 0, err
+		}
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			if _, err := n64.MTTF(ctx, montecarlo.Config{
+				Trials: b.N, Seed: 1, Engine: montecarlo.Fused, Workers: 1, BatchSize: batchSize,
+			}); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		})
+		if benchErr != nil {
+			return 0, fmt.Errorf("bench batched B=%d: %w", batchSize, benchErr)
+		}
+		if r.N == 0 {
+			return 0, fmt.Errorf("bench batched B=%d: no iterations", batchSize)
+		}
+		return float64(r.T.Nanoseconds()) / float64(r.N), nil
+	}
+	scalarFused, err := measureFused(1)
+	if err != nil {
+		return err
+	}
+	batched.ScalarFusedNs = scalarFused
+	for _, bsz := range []int{16, 64, 256} {
+		ns, err := measureFused(bsz)
+		if err != nil {
+			return err
+		}
+		batched.Blocks = append(batched.Blocks, batchedBlockEntry{
+			BlockSize:       bsz,
+			BatchedNsOp:     ns,
+			SpeedupFused:    scalarFused / ns,
+			SpeedupInverted: n64Inverted / ns,
+		})
+		fmt.Fprintf(stdout, "%-22s N=64 B=%-4d %8.1f ns/trial  %5.2fx vs scalar fused  %6.1fx vs inverted\n",
+			"BatchedScaling", bsz, ns, scalarFused/ns, n64Inverted/ns)
+	}
+	report.Batched = batched
 
 	// Adaptive precision on the paper's SPEC-trace profile: the gzip
 	// processor trace at 1e6 errors/year, as the acceptance benchmarks
@@ -194,6 +288,32 @@ func runFusedBench(ctx context.Context, stdout, stderr io.Writer, outPath string
 	report.Adaptive = ad
 	fmt.Fprintf(stdout, "%-22s fixed %d trials (RSE %.4f) vs adaptive %d trials to RSE<=%g: %.1fx wall time\n",
 		"FusedAdaptive", ad.FixedTrials, ad.FixedRelStdErr, ad.AdaptiveTrials, target, ad.WallTimeSpeedup)
+
+	// QMC trials-to-target on the same SPEC profile: the adaptive loop
+	// stops at the first block boundary where the target is met, so the
+	// trial counts directly compare sampler efficiency.
+	qmc := qmcReport{Target: target}
+	for _, sampler := range []montecarlo.Sampler{montecarlo.PCG, montecarlo.Sobol} {
+		logf("bench qmc %s target-%g", sampler, target)
+		res, err := compiled.MTTF(ctx, montecarlo.Config{
+			Trials: soferr.DefaultTrials, Seed: 1, Engine: montecarlo.Fused,
+			TargetRelStdErr: target, Sampler: sampler,
+		})
+		if err != nil {
+			return err
+		}
+		switch sampler {
+		case montecarlo.PCG:
+			qmc.PCGTrials, qmc.PCGRelSE = res.Trials, res.RelStdErr()
+		case montecarlo.Sobol:
+			qmc.SobolTrials, qmc.SobolRelSE = res.Trials, res.RelStdErr()
+		}
+	}
+	qmc.TrialsRatio = float64(qmc.SobolTrials) / float64(qmc.PCGTrials)
+	qmc.TrialsSaved = 1 - qmc.TrialsRatio
+	report.QMC = qmc
+	fmt.Fprintf(stdout, "%-22s RSE<=%g: pcg %d trials vs sobol %d trials (%.2fx fewer)\n",
+		"QMCAdaptive", target, qmc.PCGTrials, qmc.SobolTrials, float64(qmc.PCGTrials)/float64(qmc.SobolTrials))
 
 	if outPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

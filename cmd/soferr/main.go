@@ -22,7 +22,7 @@
 //	-rates LIST      raw-rate axis in errors/year
 //	-counts LIST     component-count axis C (default 1)
 //	-methods LIST    estimator axis (default avf+sofr,montecarlo,softarch)
-//	-trials N -seed N -engine NAME -target-rse T -workers N -instructions N
+//	-trials N -seed N -engine NAME -sampler NAME -target-rse T -workers N -instructions N
 //	-csv | -json     output format (default aligned text, streamed)
 //
 // Flags for run / workloads:
@@ -31,6 +31,7 @@
 //	-instructions N  simulated instructions per benchmark (default 300000)
 //	-seed N          deterministic seed (default 1)
 //	-engine NAME     run: Monte-Carlo engine: fused (default), exact, inverted, superposed, naive
+//	-sampler NAME    run <spec.json>: Monte-Carlo sampler: pcg (default) or sobol (quasi-Monte-Carlo)
 //	-target-rse T    run <spec.json>: adaptive precision target (rel stderr; -trials caps it)
 //	-methods LIST    run <spec.json>: methods to compare (default all)
 //	-quick           run: shrink grids and trial counts
@@ -109,6 +110,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		instructions = fs.Int("instructions", 0, "instructions per simulated benchmark (0 = default)")
 		seed         = fs.Uint64("seed", 1, "deterministic seed")
 		engineName   = fs.String("engine", "", "Monte-Carlo engine: fused, exact, inverted, superposed, or naive")
+		samplerName  = fs.String("sampler", "", "run <spec.json>: Monte-Carlo sampler: pcg (default) or sobol")
 		targetRSE    = fs.Float64("target-rse", 0, "run <spec.json>: adaptive precision target (relative standard error; trials become the cap)")
 		methodsFlag  = fs.String("methods", "", "run <spec.json>: comma-separated methods to compare (default all)")
 		quick        = fs.Bool("quick", false, "shrink grids and trial counts")
@@ -154,6 +156,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				instructions: *instructions,
 				seed:         *seed,
 				engineName:   *engineName,
+				samplerName:  *samplerName,
 				targetRSE:    *targetRSE,
 				methods:      *methodsFlag,
 				asCSV:        *asCSV,
@@ -341,11 +344,11 @@ commands:
   bench        micro-benchmark the engines; write BENCH_mc.json + BENCH_fused.json + BENCH_exact.json + BENCH_sweep.json + BENCH_serve.json
 
 flags for run:
-  -trials N -instructions N -seed N -engine fused|exact|inverted|superposed|naive -target-rse T -methods LIST -quick -csv -json -v
+  -trials N -instructions N -seed N -engine fused|exact|inverted|superposed|naive -sampler pcg|sobol -target-rse T -methods LIST -quick -csv -json -v
 flags for sweep:
   -workloads day,week,combined -duty LIST -period S -bench LIST
   -ns LIST -rates LIST -counts LIST -methods LIST
-  -trials N -seed N -engine NAME -target-rse T -workers N -instructions N -csv -json -v
+  -trials N -seed N -engine NAME -sampler NAME -target-rse T -workers N -instructions N -csv -json -v
 flags for serve:
   -addr HOST:PORT -cache N -max-concurrent N -trials N -timeout D -grace D
   -instructions N -sim-seed N -v

@@ -275,6 +275,37 @@ func TestRunSpecFile(t *testing.T) {
 	}
 }
 
+// TestRunSpecFileSamplerFlag covers `-sampler` on the spec-file path:
+// sobol runs thread through to the estimate (and its JSON), unknown
+// names and sampler-incompatible engines fail loudly.
+func TestRunSpecFileSamplerFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "system.json")
+	data, err := json.Marshal(busyIdleSpecJSON(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "run", path, "-trials", "2000", "-engine", "fused",
+		"-sampler", "sobol", "-json", "-methods", "MC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"sobol"`) {
+		t.Errorf("-json output does not record the sobol sampler:\n%s", out)
+	}
+	if _, _, err := runCLI(t, "run", path, "-sampler", "halton"); err == nil ||
+		!strings.Contains(err.Error(), "halton") {
+		t.Errorf("unknown sampler: err = %v, want rejection naming halton", err)
+	}
+	if _, _, err := runCLI(t, "run", path, "-trials", "2000",
+		"-engine", "superposed", "-sampler", "sobol"); err == nil {
+		t.Error("sobol accepted on an arrival-enumerating engine")
+	}
+}
+
 // TestRunExperimentIDWinsOverFile: a stray file in the working
 // directory named after an experiment id must not shadow the
 // experiment.

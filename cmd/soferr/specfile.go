@@ -19,6 +19,7 @@ type specFileOptions struct {
 	instructions int
 	seed         uint64
 	engineName   string
+	samplerName  string
 	targetRSE    float64
 	methods      string
 	asCSV        bool
@@ -94,6 +95,11 @@ func runSpecFile(ctx context.Context, path string, stdout, stderr io.Writer, opt
 		return err
 	}
 	opts = append(opts, soferr.WithEngine(engine))
+	sampler, err := soferr.SamplerByName(opt.samplerName)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, soferr.WithSampler(sampler))
 	ests, err := sys.CompareWith(ctx, opts, methods...)
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)

@@ -35,6 +35,7 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		trials       = fs.Int("trials", 0, "Monte-Carlo trials per cell (0 = default)")
 		seed         = fs.Uint64("seed", 1, "base seed; per-cell streams derive from (seed, cell index)")
 		engineName   = fs.String("engine", "", "Monte-Carlo engine: fused, inverted, superposed, or naive")
+		samplerName  = fs.String("sampler", "", "Monte-Carlo sampler: pcg (default) or sobol")
 		targetRSE    = fs.Float64("target-rse", 0, "adaptive precision target per cell (relative standard error; -trials becomes the cap)")
 		workers      = fs.Int("workers", 0, "total sweep parallelism (0 = GOMAXPROCS)")
 		instructions = fs.Int("instructions", 0, "instructions per simulated benchmark source (0 = default)")
@@ -153,6 +154,11 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		}
 		opts = append(opts, soferr.WithEngine(engine))
 	}
+	sampler, err := soferr.SamplerByName(*samplerName)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, soferr.WithSampler(sampler))
 
 	if *cursor != 0 && *serverURL == "" {
 		return fmt.Errorf("sweep: -cursor requires -server (local sweeps always run whole)")

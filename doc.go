@@ -32,7 +32,13 @@
 //     trials, zero stderr; ErrExactUnavailable where no tabulation
 //     exists) — and can target a precision instead of a trial count
 //     (WithTargetRelStdErr): trials run in deterministic doubling
-//     rounds until the relative standard error meets the target.
+//     rounds until the relative standard error meets the target. The
+//     closed-form engines can also swap their uniform source for a
+//     scrambled Sobol sequence (WithSampler(Sobol)): quasi-Monte-Carlo
+//     reaches a 1% precision target in a fraction of the PCG trial
+//     count, with the standard error estimated from independently
+//     scrambled replicates and recorded per estimate
+//     (Estimate.Sampler).
 //   - A design-space sweep engine (Sweep, SweepStream, SweepCells): a
 //     Grid of named axes — workloads/traces, raw rates, component
 //     counts, estimator methods — evaluated concurrently with one

@@ -20,8 +20,8 @@ func estimatesEqual(a, b soferr.Estimate) bool {
 	}
 	return a.Method == b.Method && feq(a.MTTF, b.MTTF) && feq(a.FIT, b.FIT) &&
 		feq(a.StdErr, b.StdErr) && a.Trials == b.Trials && a.Seed == b.Seed &&
-		a.Engine == b.Engine && feq(a.TargetRelStdErr, b.TargetRelStdErr) &&
-		a.Cached == b.Cached
+		a.Engine == b.Engine && a.Sampler == b.Sampler &&
+		feq(a.TargetRelStdErr, b.TargetRelStdErr) && a.Cached == b.Cached
 }
 
 func roundTrip(t *testing.T, est soferr.Estimate) {
@@ -68,6 +68,18 @@ func TestEstimateJSONRoundTripFromQueries(t *testing.T) {
 		t.Fatal("second identical query not served from cache")
 	}
 	roundTrip(t, est)
+
+	// Sobol-sampler estimates record the sampler and round-trip it.
+	qmc, err := sys.MTTF(ctx, soferr.MonteCarlo,
+		soferr.WithTrials(2000), soferr.WithSeed(7),
+		soferr.WithEngine(soferr.Fused), soferr.WithSampler(soferr.Sobol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qmc.Sampler != soferr.Sobol {
+		t.Fatalf("Sobol query recorded sampler %v", qmc.Sampler)
+	}
+	roundTrip(t, qmc)
 
 	// Infinite-MTTF estimates (a system that cannot fail) round-trip
 	// through the "+Inf" string encoding.
@@ -117,6 +129,9 @@ func TestEstimateJSONRoundTripProperty(t *testing.T) {
 			est.Trials = rng.Intn(1 << 20)
 			est.Seed = rng.Uint64()
 			est.Engine = engines[rng.Intn(len(engines))]
+			if rng.Intn(2) == 0 {
+				est.Sampler = soferr.Sobol
+			}
 			est.Cached = rng.Intn(2) == 0
 			if rng.Intn(2) == 0 {
 				est.TargetRelStdErr = 1 / (2 + rng.Float64()*100)
@@ -234,6 +249,23 @@ func TestNameParsingCaseInsensitive(t *testing.T) {
 	} else if !strings.Contains(err.Error(), `"quantum"`) ||
 		!strings.Contains(err.Error(), "superposed, naive, inverted, fused, or exact") {
 		t.Errorf("unknown-engine message unhelpful: %v", err)
+	}
+
+	samplerCases := map[string]soferr.Sampler{
+		"": soferr.PCG, "pcg": soferr.PCG, "PCG": soferr.PCG,
+		"sobol": soferr.Sobol, "Sobol": soferr.Sobol, "SOBOL": soferr.Sobol,
+	}
+	for name, want := range samplerCases {
+		got, err := soferr.SamplerByName(name)
+		if err != nil || got != want {
+			t.Errorf("SamplerByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := soferr.SamplerByName("halton"); err == nil {
+		t.Error("unknown sampler accepted")
+	} else if !strings.Contains(err.Error(), `"halton"`) ||
+		!strings.Contains(err.Error(), "pcg or sobol") {
+		t.Errorf("unknown-sampler message unhelpful: %v", err)
 	}
 }
 

@@ -64,6 +64,33 @@ func TestValidateFile(t *testing.T) {
 	}
 }
 
+// TestRequiredSections covers the per-basename section pinning: a
+// BENCH_fused.json without its batched/qmc sections is a stale report
+// from an older harness and must fail, while the same document under
+// an unregistered name still passes the plain envelope.
+func TestRequiredSections(t *testing.T) {
+	doc := []byte(`{"go_version":"go1.24.0","goarch":"amd64","scaling":[{"components":1}],"speedup_at_n":{"1":1},"adaptive":{"target_rel_stderr":0.01}}`)
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "BENCH_fused.json")
+	if err := os.WriteFile(stale, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := ValidateFile(stale)
+	if err == nil || !strings.Contains(err.Error(), "batched") {
+		t.Errorf("ValidateFile(stale fused report) = %v, want missing-section error naming batched", err)
+	}
+	other := filepath.Join(dir, "BENCH_other.json")
+	if err := os.WriteFile(other, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateFile(other); err != nil {
+		t.Errorf("ValidateFile(unregistered basename) = %v, want nil", err)
+	}
+	if err := ValidateSections(doc, []string{"scaling", "adaptive"}); err != nil {
+		t.Errorf("ValidateSections(present) = %v, want nil", err)
+	}
+}
+
 // TestRepositoryReportsValidate pins the committed BENCH_*.json files
 // to the shared schema, so a hand-edited or truncated report fails in
 // CI.

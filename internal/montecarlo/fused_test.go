@@ -378,6 +378,51 @@ func TestFusedSpeedupAtN64(t *testing.T) {
 	}
 }
 
+// TestBatchedSpeedupAtN64 is the batched-kernel acceptance criterion:
+// at 64 components the Fused engine's batched inversion kernel (the
+// default block of 64) must improve per-trial cost by >= 2x over the
+// scalar Inverted profile. The scalar fused kernel (BatchSize 1) is
+// measured alongside and logged, so BENCH_fused.json's two framings
+// (vs scalar-inverted, vs scalar-fused) are both visible here; only
+// the robust inverted framing is asserted, since batching alone sits
+// close to memory-bandwidth noise on small tables.
+func TestBatchedSpeedupAtN64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	const n = 64
+	comps := make([]Component, n)
+	for i := range comps {
+		busy := 1 + float64(i%17)
+		comps[i] = Component{Rate: 1e-4 * float64(1+i%5), Trace: mustBusyIdleB(t, 24, busy)}
+	}
+	c, err := Compile(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const trials = 60000
+	measure := func(engine Engine, batchSize int) time.Duration {
+		if _, err := c.MTTF(ctx, Config{Trials: 256, Seed: 1, Engine: engine, Workers: 1, BatchSize: batchSize}); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := c.MTTF(ctx, Config{Trials: trials, Seed: 1, Engine: engine, Workers: 1, BatchSize: batchSize}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	inv := measure(Inverted, 0)
+	scalar := measure(Fused, 1)
+	batched := measure(Fused, DefaultBatchSize)
+	t.Logf("N=%d: inverted %v, scalar fused %v, batched fused %v (%.2fx vs scalar fused)",
+		n, inv, scalar, batched, float64(scalar)/float64(batched))
+	if speedup := float64(inv) / float64(batched); speedup < 2 {
+		t.Errorf("batched kernel speedup at N=%d is %.1fx vs inverted (inverted %v, batched %v), want >= 2x",
+			n, speedup, inv, batched)
+	}
+}
+
 func mustBusyIdleB(t *testing.T, period, busy float64) *trace.Piecewise {
 	t.Helper()
 	p, err := trace.BusyIdle(period, busy)

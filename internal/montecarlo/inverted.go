@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"github.com/soferr/soferr/internal/numeric"
-	"github.com/soferr/soferr/internal/xrand"
 )
 
 // ExposureInverter is the trace capability the Inverted engine needs: a
@@ -70,10 +69,15 @@ func newInvComps(components []Component) []invComp {
 	return out
 }
 
-// sample draws one first-unmasked-arrival time for the component.
+// sample draws one first-unmasked-arrival time for the component. It
+// draws through the drawSource — exactly the per-trial PCG stream
+// under the default sampler, or two Sobol coordinates under QMC —
+// consuming either two uniforms or (zero-exposure early return) none,
+// a count that is fixed per component across trials so the Sobol
+// dimension assignment stays aligned.
 //
 //soferr:hotpath
-func (ic *invComp) sample(r *xrand.Rand) float64 {
+func (ic *invComp) sample(ds *drawSource) float64 {
 	if ic.perPeriodExposure == 0 {
 		// rate*m(L) underflowed to zero: failure is beyond any
 		// representable horizon.
@@ -82,12 +86,12 @@ func (ic *invComp) sample(r *xrand.Rand) float64 {
 	// Whole survived periods: P(K >= k) = e^(-k*rate*m(L)), i.e.
 	// K = floor(Exp(1) / (rate*m(L))). Kept in float64 so huge counts
 	// (low-rate regimes) lose only relative precision, not correctness.
-	k := math.Floor(numeric.ExpInvCDF(r.Float64Open()) / ic.perPeriodExposure)
+	k := math.Floor(numeric.ExpInvCDF(ds.Float64Open()) / ic.perPeriodExposure)
 	// Within-period exposure target, conditioned on failing inside a
 	// period (memorylessness makes it independent of K): a truncated
 	// exponential with mass pFail, mapped back to time by one binary
 	// search over the trace's cumulative-exposure table.
-	e := numeric.TruncExpInvCDF(r.Float64(), ic.pFail) / ic.rate
+	e := numeric.TruncExpInvCDF(ds.Float64(), ic.pFail) / ic.rate
 	return k*ic.period + ic.inv.InvertExposure(e)
 }
 
@@ -99,12 +103,12 @@ func (ic *invComp) sample(r *xrand.Rand) float64 {
 // answer, rather than an error.
 //
 //soferr:hotpath
-func trialInverted(comps []invComp, r *xrand.Rand, maxArrivals int) (float64, error) {
+func trialInverted(comps []invComp, ds *drawSource, maxArrivals int) (float64, error) {
 	best := math.Inf(1)
 	for i := range comps {
 		ic := &comps[i]
 		if ic.thinning {
-			t, failed, err := thinFirstArrival(ic.comp, r, best, maxArrivals)
+			t, failed, err := thinFirstArrival(ic.comp, &ds.rng, best, maxArrivals)
 			if err != nil {
 				return 0, err
 			}
@@ -113,7 +117,7 @@ func trialInverted(comps []invComp, r *xrand.Rand, maxArrivals int) (float64, er
 			}
 			continue
 		}
-		if t := ic.sample(r); t < best {
+		if t := ic.sample(ds); t < best {
 			best = t
 		}
 	}

@@ -179,12 +179,41 @@ type Config struct {
 	// any worker count, exactly like fixed-trial runs. Sample-collecting
 	// runs (TTFSamples) ignore it.
 	TargetRelStdErr float64
+	// Sampler selects the uniform source beneath the trial kernels
+	// (default PCG). The Sobol low-discrepancy sampler requires the
+	// Inverted or Fused engine on a fully invertible system; see
+	// Sampler and ErrSamplerUnsupported.
+	Sampler Sampler
+	// BatchSize tunes the batched inversion kernel of the Fused engine:
+	// the number of trials whose hazard draws are sorted and resolved
+	// in one forward sweep over the merged table. 0 means
+	// DefaultBatchSize, applied only when the merged table has at least
+	// minBatchSegments segments (below that the argsort costs more than
+	// the searches it replaces); an explicit size is always honored.
+	// 1 forces the scalar kernel (the conformance oracle); larger
+	// values are capped at one trial block. Results are bit-identical
+	// for every batch size — the knob only moves throughput.
+	BatchSize int
 }
 
 // DefaultTrials matches the precision regime of the paper's 1,000,000
 // trials closely enough for <1% standard error on every experiment while
 // keeping the full design-space sweep laptop-sized.
 const DefaultTrials = 200000
+
+// DefaultBatchSize is the batched inversion kernel's default block of
+// deferred hazard draws: large enough that the sorted forward sweep
+// amortizes the merged table walk and stays branch-predictable, small
+// enough that the per-worker scratch lives in L1.
+const DefaultBatchSize = 64
+
+// minBatchSegments gates the *default* batch kernel by merged-table
+// size: below this many segments a scalar binary search is one or two
+// comparisons, cheaper than the ~log(B) argsort comparisons batching
+// spends per trial (measured crossover is between ~5 and ~18 segments
+// on the bench profiles). An explicit Config.BatchSize bypasses the
+// gate.
+const minBatchSegments = 8
 
 // Result is a Monte-Carlo MTTF estimate.
 type Result struct {
@@ -376,12 +405,10 @@ func (c *Compiled) run(ctx context.Context, cfg Config, collect bool) (Result, [
 		workers = trials
 	}
 
-	trial, err := c.trialFunc(cfg)
+	br, err := c.newBlockRunner(cfg)
 	if err != nil {
 		return Result{}, nil, err
 	}
-
-	br := &blockRunner{trial: trial, seed: cfg.Seed}
 	stopRelay := br.startCancelRelay(ctx)
 	defer stopRelay()
 
@@ -406,7 +433,7 @@ func (c *Compiled) run(ctx context.Context, cfg Config, collect bool) (Result, [
 	if collect {
 		samples = make([]float64, trials)
 	} else {
-		accs = make([]numeric.Welford, numBlocks)
+		accs = make([]numeric.Welford, numBlocks*br.reps)
 	}
 	br.runRange(0, trials, workers, accs, samples)
 	// Join the relay before reading the error state: its failure path
@@ -426,16 +453,86 @@ func (c *Compiled) run(ctx context.Context, cfg Config, collect bool) (Result, [
 		mean, se := numeric.MeanStdErr(samples)
 		return Result{MTTF: mean, StdErr: se, Trials: trials}, samples, nil
 	}
-	var w numeric.Welford
-	for _, acc := range accs {
-		w.Merge(acc)
+	merged := make([]numeric.Welford, br.reps)
+	mergeBlockAccs(merged, accs)
+	return finishResult(merged, trials), nil, nil
+}
+
+// mergeBlockAccs folds per-block accumulators (reps consecutive
+// entries per block, in block order) into one accumulator per
+// replicate. Block order makes the merge independent of worker
+// scheduling — the determinism contract.
+func mergeBlockAccs(merged, accs []numeric.Welford) {
+	reps := len(merged)
+	for b := 0; b < len(accs)/reps; b++ {
+		for r := 0; r < reps; r++ {
+			merged[r].Merge(accs[b*reps+r])
+		}
 	}
-	return finishResult(w, trials), nil, nil
+}
+
+// newBlockRunner resolves a Config into a ready-to-run blockRunner:
+// the per-engine trial kernel, the sampler mode (with Sobol
+// eligibility validated against the engine's draw layout), and the
+// batched-kernel factory when the Fused engine's merged table can use
+// it.
+func (c *Compiled) newBlockRunner(cfg Config) (*blockRunner, error) {
+	trial, err := c.trialFunc(cfg)
+	if err != nil {
+		return nil, err
+	}
+	br := &blockRunner{trial: trial, seed: cfg.Seed, reps: 1}
+
+	engine := cfg.Engine
+	if engine == 0 {
+		engine = Superposed
+	}
+	if cfg.Sampler == Sobol {
+		dims, err := c.qmcTrialDims(engine)
+		if err != nil {
+			return nil, err
+		}
+		// dims == 0 means no sampler consumes draws (every per-period
+		// exposure underflowed): all trials are +Inf whatever the
+		// sampler, so the PCG path is already exact and replicate-free.
+		if dims > 0 {
+			qs, err := newQMCState(cfg.Seed, dims)
+			if err != nil {
+				return nil, err
+			}
+			br.qmc = qs
+			br.reps = qmcReplicates
+		}
+	} else if cfg.Sampler != PCG {
+		return nil, fmt.Errorf("montecarlo: unknown sampler %v", cfg.Sampler)
+	}
+
+	if cfg.BatchSize < 0 {
+		return nil, fmt.Errorf("montecarlo: invalid BatchSize %d", cfg.BatchSize)
+	}
+	bsz := cfg.BatchSize
+	if bsz == 0 {
+		bsz = DefaultBatchSize
+	}
+	if bsz > trialBlock {
+		bsz = trialBlock
+	}
+	if bsz > 1 && engine == Fused {
+		fs := c.fusedState()
+		if fs.batchable() && (cfg.BatchSize > 0 || fs.merged.NumSegments() >= minBatchSegments) {
+			br.batchSize = bsz
+			br.newBatch = newFusedBatchFactory(fs, cfg.Seed, bsz)
+		}
+	}
+	return br, nil
 }
 
 // trialFunc resolves the per-engine trial implementation over the
-// precompiled shared state.
-func (c *Compiled) trialFunc(cfg Config) (func(r *xrand.Rand) (float64, error), error) {
+// precompiled shared state. The closed-form engines (Inverted, Fused)
+// draw through the drawSource so the Sobol sampler can feed them; the
+// arrival-enumerating engines draw straight from its PCG stream, which
+// is the identical stream (the draw source delegates bit-for-bit).
+func (c *Compiled) trialFunc(cfg Config) (func(ds *drawSource) (float64, error), error) {
 	maxArrivals := cfg.MaxArrivalsPerTrial
 	if maxArrivals <= 0 {
 		maxArrivals = 100_000_000
@@ -447,44 +544,69 @@ func (c *Compiled) trialFunc(cfg Config) (func(r *xrand.Rand) (float64, error), 
 	components := c.components
 	switch engine {
 	case Naive:
-		return func(r *xrand.Rand) (float64, error) {
-			return trialNaive(components, r, maxArrivals)
+		return func(ds *drawSource) (float64, error) {
+			return trialNaive(components, &ds.rng, maxArrivals)
 		}, nil
 	case Inverted:
-		return func(r *xrand.Rand) (float64, error) {
-			return trialInverted(c.inv, r, maxArrivals)
+		return func(ds *drawSource) (float64, error) {
+			return trialInverted(c.inv, ds, maxArrivals)
 		}, nil
 	case Fused:
 		fs := c.fusedState()
-		return func(r *xrand.Rand) (float64, error) {
-			return trialFused(fs, r, maxArrivals)
+		return func(ds *drawSource) (float64, error) {
+			return trialFused(fs, ds, maxArrivals)
 		}, nil
 	case Superposed:
-		return func(r *xrand.Rand) (float64, error) {
-			return trialSuperposed(components, c.total, c.alias, r, maxArrivals)
+		return func(ds *drawSource) (float64, error) {
+			return trialSuperposed(components, c.total, c.alias, &ds.rng, maxArrivals)
 		}, nil
 	default:
 		return nil, fmt.Errorf("montecarlo: unknown engine %v", engine)
 	}
 }
 
-// finishResult folds a merged accumulator into a Result. A mean of +Inf
-// (every trial beyond the representable horizon) is an exactly known
-// answer, not a noisy one: its standard error is forced to 0 rather
-// than the NaN that Inf-valued Welford updates produce.
-func finishResult(w numeric.Welford, trials int) Result {
-	mean, se := w.Mean(), w.StdErr()
+// replicateStats reduces per-replicate accumulators to a point
+// estimate and its standard error. A single replicate (the PCG
+// sampler) reports the plain streamed mean and iid standard error,
+// exactly as before the sampler abstraction existed. Multiple
+// replicates (the Sobol sampler) report the pooled mean — every trial
+// weighs equally — with the standard error of the replicate means:
+// scrambled-QMC trials within one replicate are deliberately
+// anti-correlated, so the iid formula would overstate the error, while
+// the K replicates are genuinely independent.
+func replicateStats(reps []numeric.Welford) (mean, se float64) {
+	if len(reps) == 1 {
+		return reps[0].Mean(), reps[0].StdErr()
+	}
+	var pooled, means numeric.Welford
+	for _, w := range reps {
+		pooled.Merge(w)
+		means.Add(w.Mean())
+	}
+	// Welford.StdErr over the K replicate means is sd(means)/sqrt(K):
+	// the standard error of their average, which the pooled mean is
+	// (replicates hold equal trial counts by block alignment).
+	return pooled.Mean(), means.StdErr()
+}
+
+// finishResult folds the merged per-replicate accumulators into a
+// Result. A mean of +Inf (every trial beyond the representable
+// horizon) is an exactly known answer, not a noisy one: its standard
+// error is forced to 0 rather than the NaN that Inf-valued Welford
+// updates produce.
+func finishResult(reps []numeric.Welford, trials int) Result {
+	mean, se := replicateStats(reps)
 	if math.IsInf(mean, 1) {
 		se = 0
 	}
 	return Result{MTTF: mean, StdErr: se, Trials: trials}
 }
 
-// adaptiveConverged reports whether the merged accumulator meets the
+// adaptiveConverged reports whether the merged accumulators meet the
 // relative-standard-error target. Infinite means are exactly known;
 // NaN spreads (mixed finite/Inf samples) never converge early.
-func adaptiveConverged(w numeric.Welford, target float64) bool {
-	mean, se := w.Mean(), w.StdErr()
+func adaptiveConverged(reps []numeric.Welford, target float64) bool {
+	mean, se := replicateStats(reps)
 	if math.IsInf(mean, 1) {
 		return true
 	}
@@ -502,7 +624,7 @@ func adaptiveConverged(w numeric.Welford, target float64) bool {
 // bit-identical for any worker count; the stop decision itself depends
 // only on round-boundary statistics, which are equally deterministic.
 func (c *Compiled) runAdaptive(ctx context.Context, br *blockRunner, target float64, cap, workers int) (Result, error) {
-	var merged numeric.Welford
+	merged := make([]numeric.Welford, br.reps)
 	done := 0
 	round := trialBlock
 	if round > cap {
@@ -510,7 +632,7 @@ func (c *Compiled) runAdaptive(ctx context.Context, br *blockRunner, target floa
 	}
 	for {
 		numBlocks := (round - done + trialBlock - 1) / trialBlock
-		accs := make([]numeric.Welford, numBlocks)
+		accs := make([]numeric.Welford, numBlocks*br.reps)
 		br.runRange(done, round, workers, accs, nil)
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
@@ -518,9 +640,7 @@ func (c *Compiled) runAdaptive(ctx context.Context, br *blockRunner, target floa
 		if err := br.err(); err != nil {
 			return Result{}, err
 		}
-		for _, acc := range accs {
-			merged.Merge(acc)
-		}
+		mergeBlockAccs(merged, accs)
 		done = round
 		if adaptiveConverged(merged, target) || done >= cap {
 			return finishResult(merged, done), nil
@@ -532,17 +652,34 @@ func (c *Compiled) runAdaptive(ctx context.Context, br *blockRunner, target floa
 	}
 }
 
+// batchFn resolves per-trial failure times for trials
+// [base, base+n) of the absolute index space into out[:n], using the
+// worker's draw source for the per-trial streams. Batch kernels are
+// restricted to configurations that cannot produce trial errors (no
+// thinning fallbacks), so the signature carries none.
+type batchFn func(ds *drawSource, base, n int, out []float64)
+
 // blockRunner executes trial blocks across a worker pool. Workers
-// reuse one Rand value and reseed it per trial, so the steady-state
-// trial loop performs no allocations (asserted by
-// TestTrialLoopDoesNotAllocate); per-run setup (accumulator slices,
+// reuse one draw source (a Rand value reseeded per trial, plus the
+// shared Sobol replicates in QMC mode), so the steady-state trial loop
+// performs no allocations (asserted by TestTrialLoopDoesNotAllocate);
+// per-run setup (accumulator slices, per-worker batch scratch,
 // goroutines) stays O(workers + blocks).
 type blockRunner struct {
-	trial    func(r *xrand.Rand) (float64, error)
-	seed     uint64
-	canceled atomic.Bool
-	mu       sync.Mutex
-	trialErr error
+	trial func(ds *drawSource) (float64, error)
+	seed  uint64
+	// qmc is non-nil for the Sobol sampler; reps is the number of
+	// interleaved replicate accumulators per block (1 for PCG).
+	qmc  *qmcState
+	reps int
+	// newBatch, when non-nil, builds a per-worker batched kernel with
+	// its own scratch (size batchSize); the worker then resolves each
+	// claimed block in batched sub-ranges instead of per-trial calls.
+	newBatch  func() batchFn
+	batchSize int
+	canceled  atomic.Bool
+	mu        sync.Mutex
+	trialErr  error
 }
 
 func (br *blockRunner) fail(err error) {
@@ -609,9 +746,13 @@ func (br *blockRunner) startCancelRelay(ctx context.Context) (stop func()) {
 
 // runRange executes trials [lo, hi) of the absolute trial-index space;
 // lo must be trialBlock-aligned. Summary mode (samples nil) folds each
-// block into accs[blockIndex-lo/trialBlock]; collect mode writes
-// samples[i] per trial. Blocks are claimed off an atomic counter, so
-// any worker count produces the same per-block accumulators.
+// block into reps consecutive accumulators starting at
+// accs[(blockIndex-lo/trialBlock)*reps], one per Sobol replicate
+// (trial i belongs to replicate i mod reps; reps is 1 for PCG, so the
+// layout and fold order are exactly the historical ones). Collect mode
+// writes samples[i] per trial. Blocks are claimed off an atomic
+// counter, so any worker count produces the same per-block
+// accumulators.
 func (br *blockRunner) runRange(lo, hi, workers int, accs []numeric.Welford, samples []float64) {
 	baseBlock := lo / trialBlock
 	endBlock := (hi + trialBlock - 1) / trialBlock
@@ -635,7 +776,19 @@ func (br *blockRunner) runRange(lo, hi, workers int, accs []numeric.Welford, sam
 					br.fail(fmt.Errorf("%w: %v\n%s", ErrTrialPanic, rec, debug.Stack()))
 				}
 			}()
-			var rng xrand.Rand
+			var ds drawSource
+			br.initDrawSource(&ds)
+			// reps accumulators and the batch kernel's scratch are
+			// per-worker, allocated once per runRange: the per-trial
+			// steady state stays allocation-free.
+			reps := br.reps
+			accLocal := make([]numeric.Welford, reps)
+			var batch batchFn
+			var bout []float64
+			if br.newBatch != nil {
+				batch = br.newBatch()
+				bout = make([]float64, br.batchSize)
+			}
 			for {
 				b := baseBlock + int(next.Add(1)-1)
 				if b >= endBlock || br.canceled.Load() {
@@ -650,25 +803,47 @@ func (br *blockRunner) runRange(lo, hi, workers int, accs []numeric.Welford, sam
 				if bhi > hi {
 					bhi = hi
 				}
-				var acc numeric.Welford
-				for i := blo; i < bhi; i++ {
-					if br.canceled.Load() {
-						return
+				for r := range accLocal {
+					accLocal[r] = numeric.Welford{}
+				}
+				if batch != nil {
+					for sub := blo; sub < bhi; sub += br.batchSize {
+						if br.canceled.Load() {
+							return
+						}
+						n := bhi - sub
+						if n > br.batchSize {
+							n = br.batchSize
+						}
+						batch(&ds, sub, n, bout)
+						for j := 0; j < n; j++ {
+							if samples != nil {
+								samples[sub+j] = bout[j]
+							} else {
+								accLocal[(sub+j)%reps].Add(bout[j])
+							}
+						}
 					}
-					reseedTrialStream(&rng, br.seed, uint64(i))
-					v, err := br.trial(&rng)
-					if err != nil {
-						br.fail(err)
-						return
-					}
-					if samples != nil {
-						samples[i] = v
-					} else {
-						acc.Add(v)
+				} else {
+					for i := blo; i < bhi; i++ {
+						if br.canceled.Load() {
+							return
+						}
+						ds.beginTrial(br.seed, i)
+						v, err := br.trial(&ds)
+						if err != nil {
+							br.fail(err)
+							return
+						}
+						if samples != nil {
+							samples[i] = v
+						} else {
+							accLocal[i%reps].Add(v)
+						}
 					}
 				}
 				if samples == nil {
-					accs[b-baseBlock] = acc
+					copy(accs[(b-baseBlock)*reps:], accLocal)
 				}
 			}
 		}()

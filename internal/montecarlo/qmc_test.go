@@ -1,0 +1,218 @@
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/soferr/soferr/internal/numeric"
+)
+
+// TestSobolSamplerMatchesExact: the QMC estimate is consistent — it
+// converges to the same MTTF the closed-form engine computes, with a
+// replicate standard error that honestly covers the gap.
+func TestSobolSamplerMatchesExact(t *testing.T) {
+	comps := fusedTestSystem(t)
+	c, err := Compile(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.ExactMTTF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, engine := range []Engine{Inverted, Fused} {
+		res, err := c.MTTF(ctx, Config{Trials: 2 * trialBlock, Seed: 17, Engine: engine, Sampler: Sobol})
+		if err != nil {
+			t.Fatalf("engine %v: %v", engine, err)
+		}
+		if numeric.RelErr(res.MTTF, want) > 0.01 {
+			t.Errorf("engine %v: QMC MTTF = %v, exact = %v (relerr %v)", engine, res.MTTF, want, numeric.RelErr(res.MTTF, want))
+		}
+		if !(res.StdErr > 0) || math.IsInf(res.StdErr, 0) {
+			t.Errorf("engine %v: replicate stderr = %v, want finite positive", engine, res.StdErr)
+		}
+		if math.Abs(res.MTTF-want) > 6*res.StdErr {
+			t.Errorf("engine %v: |est-exact| = %v exceeds 6 stderr (%v)", engine, math.Abs(res.MTTF-want), res.StdErr)
+		}
+	}
+}
+
+// TestSobolSamplerDeterminism: QMC runs are bit-identical across worker
+// counts and batch sizes, and adaptive runs that stop at the cap equal
+// the fixed run of the same length — the same contract the PCG sampler
+// has always had.
+func TestSobolSamplerDeterminism(t *testing.T) {
+	comps := fusedTestSystem(t)
+	c, err := Compile(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const trials = 2 * trialBlock
+	ref, err := c.MTTF(ctx, Config{Trials: trials, Seed: 23, Engine: Fused, Sampler: Sobol, Workers: 1, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 8} {
+		for _, bsz := range []int{1, 64, 509} {
+			got, err := c.MTTF(ctx, Config{Trials: trials, Seed: 23, Engine: Fused, Sampler: Sobol, Workers: workers, BatchSize: bsz})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Errorf("workers=%d batch=%d: %+v != %+v", workers, bsz, got, ref)
+			}
+		}
+	}
+	// Adaptive at an unreachable target stops at the cap and must equal
+	// the fixed run of the same length.
+	adaptive, err := c.MTTF(ctx, Config{Trials: trials, Seed: 23, Engine: Fused, Sampler: Sobol, TargetRelStdErr: 1e-12, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive != ref {
+		t.Errorf("adaptive-at-cap %+v != fixed %+v", adaptive, ref)
+	}
+	// Different seeds scramble differently.
+	other, err := c.MTTF(ctx, Config{Trials: trials, Seed: 24, Engine: Fused, Sampler: Sobol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.MTTF == ref.MTTF {
+		t.Error("different seeds produced identical QMC estimates")
+	}
+}
+
+// TestSobolSamplerRejectsUnsupported: arrival-enumerating engines and
+// thinning-fallback systems have no fixed per-trial draw count, so the
+// Sobol sampler must refuse them with the typed error.
+func TestSobolSamplerRejectsUnsupported(t *testing.T) {
+	c, err := Compile(fusedTestSystem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, engine := range []Engine{Superposed, Naive} {
+		_, err := c.MTTF(ctx, Config{Trials: 64, Engine: engine, Sampler: Sobol})
+		if !errors.Is(err, ErrSamplerUnsupported) {
+			t.Errorf("engine %v: err = %v, want ErrSamplerUnsupported", engine, err)
+		}
+	}
+
+	opaque, err := Compile([]Component{{Name: "opaque", Rate: 0.05, Trace: opaqueTrace{p: busyIdle(t, 1e-3, 0.5e-3)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []Engine{Inverted, Fused} {
+		_, err := opaque.MTTF(ctx, Config{Trials: 64, Engine: engine, Sampler: Sobol})
+		if !errors.Is(err, ErrSamplerUnsupported) {
+			t.Errorf("opaque %v: err = %v, want ErrSamplerUnsupported", engine, err)
+		}
+	}
+
+	// The Exact engine ignores samplers entirely: no trials, no draws.
+	if _, err := c.MTTF(ctx, Config{Engine: Exact, Sampler: Sobol}); err != nil {
+		t.Errorf("exact engine with sampler set: %v", err)
+	}
+}
+
+// TestSamplerByName mirrors EngineByName's contract.
+func TestSamplerByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Sampler
+		ok   bool
+	}{
+		{"", PCG, true}, {"pcg", PCG, true}, {"PCG", PCG, true},
+		{"sobol", Sobol, true}, {"Sobol", Sobol, true},
+		{"halton", 0, false}, {"bogus", 0, false},
+	}
+	for _, tt := range cases {
+		got, err := SamplerByName(tt.in)
+		if tt.ok && (err != nil || got != tt.want) {
+			t.Errorf("SamplerByName(%q) = %v, %v; want %v", tt.in, got, err, tt.want)
+		}
+		if !tt.ok && err == nil {
+			t.Errorf("SamplerByName(%q): want error", tt.in)
+		}
+	}
+	for _, s := range []Sampler{PCG, Sobol} {
+		back, err := SamplerByName(s.String())
+		if err != nil || back != s {
+			t.Errorf("round-trip %v failed: %v, %v", s, back, err)
+		}
+	}
+}
+
+// TestSobolAdaptiveConvergesFasterThanPCG is the headline convergence
+// property at test scale: on a reference system, the adaptive loop at a
+// moderate precision target stops at no more trials under QMC than
+// under PCG. The non-short benchmark suite asserts the stronger <= 1/2
+// factor on the SPEC-trace profile (see TestQMCTrialsToTargetHalved).
+func TestSobolAdaptiveConvergesFasterThanPCG(t *testing.T) {
+	comps := fusedTestSystem(t)
+	c, err := Compile(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const target = 0.004
+	const cap = 64 * trialBlock
+	pcg, err := c.MTTF(ctx, Config{Trials: cap, Seed: 1, Engine: Fused, TargetRelStdErr: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qmc, err := c.MTTF(ctx, Config{Trials: cap, Seed: 1, Engine: Fused, TargetRelStdErr: target, Sampler: Sobol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcg.Trials >= cap {
+		t.Fatalf("PCG did not converge below the cap (%d trials); tighten the test setup", pcg.Trials)
+	}
+	if qmc.Trials > pcg.Trials {
+		t.Errorf("QMC needed %d trials, PCG %d: expected QMC <= PCG at target %v", qmc.Trials, pcg.Trials, target)
+	}
+	if qmc.RelStdErr() > target {
+		t.Errorf("QMC stopped above target: rse=%v", qmc.RelStdErr())
+	}
+}
+
+// TestSobolManyComponentsPadsDims: a system needing more uniforms per
+// trial than the Sobol dimension cap still runs (trailing draws pad
+// from the per-trial PCG stream) and stays consistent with the exact
+// answer and deterministic across worker counts.
+func TestSobolManyComponentsPadsDims(t *testing.T) {
+	var comps []Component
+	for i := 0; i < 40; i++ { // 80 dims needed > 64 cap
+		comps = append(comps, Component{
+			Rate:  1e-3 * float64(1+i%5),
+			Trace: busyIdle(t, 8, float64(1+i%7)),
+		})
+	}
+	c, err := Compile(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res1, err := c.MTTF(ctx, Config{Trials: trialBlock, Seed: 3, Engine: Inverted, Sampler: Sobol, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res4, err := c.MTTF(ctx, Config{Trials: trialBlock, Seed: 3, Engine: Inverted, Sampler: Sobol, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1 != res4 {
+		t.Errorf("worker count changed padded-dims result: %+v vs %+v", res1, res4)
+	}
+	want, err := c.ExactMTTF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.RelErr(res1.MTTF, want) > 0.05 {
+		t.Errorf("padded QMC MTTF = %v, exact = %v", res1.MTTF, want)
+	}
+}

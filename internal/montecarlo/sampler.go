@@ -1,0 +1,215 @@
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/soferr/soferr/internal/xrand"
+)
+
+// Sampler selects the uniform source feeding the trial kernels.
+type Sampler int
+
+const (
+	// PCG is the default pseudo-random sampler: every trial draws from
+	// its own reseeded PCG stream derived from (Config.Seed, trial
+	// index). Works with every engine; converges at the Monte-Carlo
+	// 1/sqrt(n) rate.
+	PCG Sampler = iota
+	// Sobol replaces the per-trial uniforms with coordinates of an
+	// Owen-scrambled Sobol low-discrepancy sequence, so the closed-form
+	// inversion kernels integrate over a point set with vanishing
+	// discrepancy and converge at nearly 1/n instead of 1/sqrt(n).
+	//
+	// Only the Inverted and Fused engines qualify: they consume a fixed
+	// number of uniforms per trial (two per closed-form inversion), so
+	// trial i can be assigned point i of a fixed-dimension sequence.
+	// The arrival-enumerating engines (Superposed, Naive) and systems
+	// with thinning-fallback components draw a variable, value-dependent
+	// number of uniforms per trial, which has no meaningful
+	// low-discrepancy assignment; such runs are refused with
+	// ErrSamplerUnsupported. Trials are striped across qmcReplicates
+	// independently scrambled copies of the sequence, so the reported
+	// standard error is the honest spread of independent replicate
+	// estimates rather than the iid formula QMC invalidates.
+	Sobol
+)
+
+// String returns the sampler's CLI name.
+func (s Sampler) String() string {
+	switch s {
+	case PCG:
+		return "pcg"
+	case Sobol:
+		return "sobol"
+	default:
+		return fmt.Sprintf("Sampler(%d)", int(s))
+	}
+}
+
+// SamplerByName parses a CLI sampler name, case-insensitively. The
+// empty string is the default PCG sampler.
+func SamplerByName(name string) (Sampler, error) {
+	switch strings.ToLower(name) {
+	case "", "pcg":
+		return PCG, nil
+	case "sobol":
+		return Sobol, nil
+	default:
+		return 0, fmt.Errorf("montecarlo: unknown sampler %q (want pcg or sobol)", name)
+	}
+}
+
+// ErrSamplerUnsupported tags a run whose sampler cannot drive the
+// requested engine or system: the Sobol sampler requires a fixed
+// per-trial draw count, which only the closed-form Inverted and Fused
+// kernels (without thinning fallbacks) provide.
+var ErrSamplerUnsupported = errors.New("montecarlo: sampler unsupported for this engine or system")
+
+// qmcReplicates is the number of independently scrambled Sobol
+// replicates a QMC run stripes its trials across. It divides trialBlock
+// so every block — and therefore every adaptive round boundary — is
+// replicate-aligned: each replicate always holds a prefix of its own
+// sequence, which keeps adaptive runs bit-identical to fixed runs of
+// the same length.
+const qmcReplicates = 8
+
+// qmcState is the per-run Sobol configuration: the scrambled replicate
+// sequences (immutable, shared by all workers) and the number of
+// coordinates one trial consumes.
+type qmcState struct {
+	seqs []*xrand.ScrambledSobol
+	dims int
+}
+
+// newQMCState validates Sobol eligibility for the engine's draw layout
+// and builds the scrambled replicates. dims is the fixed per-trial
+// uniform count; when it exceeds xrand.MaxSobolDims the trailing draws
+// are padded from the per-trial PCG stream (still deterministic, and
+// the leading — most variance-carrying — draws keep the
+// low-discrepancy structure).
+func newQMCState(seed uint64, dims int) (*qmcState, error) {
+	if dims > xrand.MaxSobolDims {
+		dims = xrand.MaxSobolDims
+	}
+	sobol, err := xrand.NewSobol(dims)
+	if err != nil {
+		return nil, err
+	}
+	qs := &qmcState{dims: dims, seqs: make([]*xrand.ScrambledSobol, qmcReplicates)}
+	for r := range qs.seqs {
+		// Any injective (seed, replicate) -> scramble-key map works; the
+		// odd multipliers keep distinct replicates on distinct keys for
+		// every seed.
+		qs.seqs[r] = sobol.Scrambled(seed*0x9e3779b97f4a7c15 + uint64(r)*0xda942042e4dd58b5 + 0x6a09e667f3bcc909)
+	}
+	return qs, nil
+}
+
+// drawSource is the per-worker uniform source handed to trial kernels.
+// In PCG mode (seq nil) every draw delegates to the reseeded per-trial
+// PCG stream — bit-identical to handing the kernel the *xrand.Rand
+// directly, which is the determinism contract the conformance suites
+// pin. In Sobol mode the first dims draws of each trial come from the
+// trial's low-discrepancy point and any further draws fall back to the
+// PCG stream (over-cap dimension padding).
+type drawSource struct {
+	rng  xrand.Rand
+	seqs []*xrand.ScrambledSobol // nil for PCG
+	dims int
+	di   int
+	pt   [xrand.MaxSobolDims]float64
+}
+
+// initDrawSource prepares a worker-local draw source for the runner's
+// sampler mode.
+func (br *blockRunner) initDrawSource(ds *drawSource) {
+	if br.qmc != nil {
+		ds.seqs = br.qmc.seqs
+		ds.dims = br.qmc.dims
+	}
+}
+
+// beginTrial positions the source at the given absolute trial index:
+// the PCG stream is reseeded to the trial's own substream (exactly
+// reseedTrialStream), and in Sobol mode the trial's point is fetched —
+// trial i maps to point i/K of replicate i%K, so replicate r sees the
+// plain prefix of its own scrambled sequence.
+//
+//soferr:hotpath
+func (ds *drawSource) beginTrial(seed uint64, trial int) {
+	reseedTrialStream(&ds.rng, seed, uint64(trial))
+	if ds.seqs != nil {
+		k := len(ds.seqs)
+		ds.seqs[trial%k].Point(uint64(trial/k), ds.pt[:ds.dims])
+		ds.di = 0
+	}
+}
+
+// Float64 returns the next uniform in [0, 1).
+//
+//soferr:hotpath
+func (ds *drawSource) Float64() float64 {
+	if ds.di < ds.dims {
+		x := ds.pt[ds.di]
+		ds.di++
+		return x
+	}
+	return ds.rng.Float64()
+}
+
+// Float64Open returns the next uniform in (0, 1). Sobol coordinates
+// are already offset off the grid and never hit 0 or 1, so in Sobol
+// mode this is the same coordinate Float64 would return.
+//
+//soferr:hotpath
+func (ds *drawSource) Float64Open() float64 {
+	if ds.di < ds.dims {
+		x := ds.pt[ds.di]
+		ds.di++
+		return x
+	}
+	return ds.rng.Float64Open()
+}
+
+// qmcTrialDims returns the fixed per-trial uniform draw count of the
+// engine's kernel over this system, or an ErrSamplerUnsupported-wrapped
+// error when the draw count is not fixed (arrival-enumerating engines,
+// thinning-fallback components).
+func (c *Compiled) qmcTrialDims(engine Engine) (int, error) {
+	switch engine {
+	case Inverted:
+		return qmcInvDims(c.inv)
+	case Fused:
+		fs := c.fusedState()
+		dims, err := qmcInvDims(fs.rest)
+		if err != nil {
+			return 0, err
+		}
+		if fs.merged != nil && fs.totalHaz > 0 {
+			dims += 2
+		}
+		return dims, nil
+	default:
+		return 0, fmt.Errorf("%w: engine %v enumerates a variable number of arrivals per trial; use inverted or fused", ErrSamplerUnsupported, engine)
+	}
+}
+
+// qmcInvDims counts the uniforms consumed by a slice of closed-form
+// component samplers, refusing thinning fallbacks (their draw count
+// depends on the sampled values).
+func qmcInvDims(comps []invComp) (int, error) {
+	dims := 0
+	for i := range comps {
+		if comps[i].thinning {
+			return 0, fmt.Errorf("%w: component %q has no exposure table (thinning fallback draws a variable number of uniforms); use the pcg sampler", ErrSamplerUnsupported, comps[i].comp.Name)
+		}
+		// Samplers whose per-period exposure underflowed to zero return
+		// +Inf without consuming draws, so they occupy no dimensions.
+		if comps[i].perPeriodExposure > 0 {
+			dims += 2
+		}
+	}
+	return dims, nil
+}

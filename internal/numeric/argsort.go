@@ -1,0 +1,92 @@
+package numeric
+
+// SortWithIndex sorts vals ascending in place, applying the identical
+// permutation to idx (parallel slices of equal length). It is the batch
+// sweep helper of the Monte-Carlo batched inversion kernel: the kernel
+// sorts a block of hazard draws, resolves them in one forward sweep
+// over the hazard table, and uses idx to scatter the results back to
+// trial order.
+//
+// The sort is allocation-free (the trial loop's allocation budget is
+// asserted by TestTrialLoopDoesNotAllocate): median-of-three quicksort,
+// recursing on the smaller partition and looping on the larger so the
+// stack depth is O(log n), with insertion sort below a small cutoff.
+// It is not stable, which is irrelevant to the kernel: equal keys
+// produce equal sweep results wherever they land.
+//
+// NaN keys are unsupported (they would break the pivot ordering); the
+// kernel's keys come from TruncExpInvCDF, which never produces NaN for
+// valid inputs. Panics on mismatched lengths.
+//
+//soferr:hotpath
+func SortWithIndex(vals []float64, idx []int) {
+	if len(vals) != len(idx) {
+		panic("numeric: SortWithIndex length mismatch")
+	}
+	quickSortWithIndex(vals, idx)
+}
+
+const insertionCutoff = 12
+
+//soferr:hotpath
+func quickSortWithIndex(vals []float64, idx []int) {
+	for len(vals) > insertionCutoff {
+		p := partitionWithIndex(vals, idx)
+		// Recurse into the smaller side, loop on the larger: depth O(log n).
+		if p < len(vals)-p-1 {
+			quickSortWithIndex(vals[:p], idx[:p])
+			vals, idx = vals[p+1:], idx[p+1:]
+		} else {
+			quickSortWithIndex(vals[p+1:], idx[p+1:])
+			vals, idx = vals[:p], idx[:p]
+		}
+	}
+	// Insertion sort for the base case.
+	for i := 1; i < len(vals); i++ {
+		v, id := vals[i], idx[i]
+		j := i - 1
+		for j >= 0 && vals[j] > v {
+			vals[j+1], idx[j+1] = vals[j], idx[j]
+			j--
+		}
+		vals[j+1], idx[j+1] = v, id
+	}
+}
+
+// partitionWithIndex partitions around a median-of-three pivot and
+// returns its final position.
+//
+//soferr:hotpath
+func partitionWithIndex(vals []float64, idx []int) int {
+	n := len(vals)
+	mid := n / 2
+	// Order (first, mid, last) so vals[0] <= vals[mid] <= vals[n-1],
+	// then use the median as the pivot.
+	if vals[mid] < vals[0] {
+		vals[mid], vals[0] = vals[0], vals[mid]
+		idx[mid], idx[0] = idx[0], idx[mid]
+	}
+	if vals[n-1] < vals[0] {
+		vals[n-1], vals[0] = vals[0], vals[n-1]
+		idx[n-1], idx[0] = idx[0], idx[n-1]
+	}
+	if vals[n-1] < vals[mid] {
+		vals[n-1], vals[mid] = vals[mid], vals[n-1]
+		idx[n-1], idx[mid] = idx[mid], idx[n-1]
+	}
+	// Park the pivot at n-2 (vals[n-1] is already >= pivot).
+	vals[mid], vals[n-2] = vals[n-2], vals[mid]
+	idx[mid], idx[n-2] = idx[n-2], idx[mid]
+	pivot := vals[n-2]
+	i := 0
+	for j := 0; j < n-2; j++ {
+		if vals[j] < pivot {
+			vals[i], vals[j] = vals[j], vals[i]
+			idx[i], idx[j] = idx[j], idx[i]
+			i++
+		}
+	}
+	vals[i], vals[n-2] = vals[n-2], vals[i]
+	idx[i], idx[n-2] = idx[n-2], idx[i]
+	return i
+}

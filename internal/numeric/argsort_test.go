@@ -1,0 +1,84 @@
+package numeric
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/soferr/soferr/internal/xrand"
+)
+
+func TestSortWithIndexAgainstStdSort(t *testing.T) {
+	r := xrand.New(1)
+	for _, n := range []int{0, 1, 2, 3, 12, 13, 64, 257, 4096} {
+		for rep := 0; rep < 5; rep++ {
+			vals := make([]float64, n)
+			idx := make([]int, n)
+			orig := make([]float64, n)
+			for i := range vals {
+				switch rep {
+				case 1:
+					vals[i] = float64(i) // already sorted
+				case 2:
+					vals[i] = float64(n - i) // reversed
+				case 3:
+					vals[i] = float64(i % 3) // heavy ties
+				default:
+					vals[i] = r.Float64()
+				}
+				idx[i] = i
+				orig[i] = vals[i]
+			}
+			SortWithIndex(vals, idx)
+			if !sort.Float64sAreSorted(vals) {
+				t.Fatalf("n=%d rep=%d: not sorted", n, rep)
+			}
+			for p, id := range idx {
+				if vals[p] != orig[id] {
+					t.Fatalf("n=%d rep=%d: idx[%d]=%d inconsistent (%g vs %g)", n, rep, p, id, vals[p], orig[id])
+				}
+			}
+			seen := make([]bool, n)
+			for _, id := range idx {
+				if id < 0 || id >= n || seen[id] {
+					t.Fatalf("n=%d rep=%d: idx not a permutation", n, rep)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
+
+func TestSortWithIndexInfinities(t *testing.T) {
+	vals := []float64{math.Inf(1), 0, math.Inf(-1), 1, math.Inf(1)}
+	idx := []int{0, 1, 2, 3, 4}
+	SortWithIndex(vals, idx)
+	if !sort.Float64sAreSorted(vals) {
+		t.Fatalf("infinities not sorted: %v", vals)
+	}
+}
+
+func TestSortWithIndexMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on mismatched lengths")
+		}
+	}()
+	SortWithIndex(make([]float64, 3), make([]int, 2))
+}
+
+func TestSortWithIndexDoesNotAllocate(t *testing.T) {
+	r := xrand.New(2)
+	vals := make([]float64, 256)
+	idx := make([]int, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range vals {
+			vals[i] = r.Float64()
+			idx[i] = i
+		}
+		SortWithIndex(vals, idx)
+	})
+	if allocs != 0 {
+		t.Fatalf("SortWithIndex allocates %.1f per call, want 0", allocs)
+	}
+}

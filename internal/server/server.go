@@ -89,6 +89,11 @@ const (
 // to 422 rather than the 400 of a malformed body.
 var errTargetOutOfDomain = errors.New("target_rel_stderr must be in [0, 1)")
 
+// errUnknownSampler tags an unparseable sampler name. Like
+// errTargetOutOfDomain it maps to 422: the body is well-formed JSON,
+// the named sampler just does not exist.
+var errUnknownSampler = errors.New("unknown sampler")
+
 // Config tunes a Server. The zero value serves with sane defaults.
 type Config struct {
 	// CacheSize bounds the compiled-System LRU (default 128 systems).
@@ -142,6 +147,11 @@ type Server struct {
 	// errClasses counts failed requests per endpoint by class:
 	// [0]=4xx, [1]=5xx (excluding 504), [2]=timeouts (504).
 	errClasses [5][3]atomic.Int64
+
+	// samplerQueries counts estimate queries per endpoint by the
+	// sampler they resolved to ([0]=pcg, [1]=sobol), so operators can
+	// watch QMC adoption per endpoint from /metrics.
+	samplerQueries [5][2]atomic.Int64
 
 	// Per-endpoint request-latency summaries (count/sum/max), measured
 	// around the whole handler — decode, compile wait, query, encode —
@@ -333,6 +343,11 @@ func statusFor(err error) int {
 		// lazy trace mixtures): semantically unanswerable as asked, not
 		// a server fault. Retrying with a sampling engine succeeds.
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, soferr.ErrSamplerUnsupported):
+		// The client asked for the Sobol sampler on an engine or system
+		// without a fixed per-trial draw count: unanswerable as asked,
+		// answerable with the PCG sampler.
+		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError
 	}
@@ -452,6 +467,11 @@ type estimateOptions struct {
 	Trials int    `json:"trials,omitempty"`
 	Seed   uint64 `json:"seed,omitempty"`
 	Engine string `json:"engine,omitempty"`
+	// Sampler selects the Monte-Carlo draw source ("pcg", the default,
+	// or "sobol" for quasi-Monte-Carlo on the inverted and fused
+	// engines). Unknown names are 422s; Sobol on an incompatible
+	// engine/system maps soferr.ErrSamplerUnsupported to 422 too.
+	Sampler string `json:"sampler,omitempty"`
 	// TargetRelStdErr switches Monte-Carlo queries to adaptive
 	// precision targeting: trials run until the relative standard
 	// error reaches the target (Trials, clamped as usual, is the cap).
@@ -462,11 +482,12 @@ type estimateOptions struct {
 	TimeoutMS       int64   `json:"timeout_ms,omitempty"`
 }
 
-// options lowers the wire fields onto soferr.EstimateOptions. The
-// request deadline is not applied here: single-query endpoints append
+// options lowers the wire fields onto soferr.EstimateOptions and
+// counts the endpoint's query under its sampler label. The request
+// deadline is not applied here: single-query endpoints append
 // WithTimeLimit themselves, and the sweep endpoint deliberately puts
 // its one deadline on the whole-request context instead of every cell.
-func (s *Server) options(o estimateOptions) ([]soferr.EstimateOption, error) {
+func (s *Server) options(ep endpoint, o estimateOptions) ([]soferr.EstimateOption, error) {
 	trials := o.Trials
 	if trials <= 0 {
 		trials = s.cfg.DefaultTrials
@@ -496,6 +517,12 @@ func (s *Server) options(o estimateOptions) ([]soferr.EstimateOption, error) {
 		}
 		opts = append(opts, soferr.WithEngine(engine))
 	}
+	sampler, err := soferr.SamplerByName(o.Sampler)
+	if err != nil {
+		return nil, fmt.Errorf("%w %q (want pcg or sobol)", errUnknownSampler, o.Sampler)
+	}
+	opts = append(opts, soferr.WithSampler(sampler))
+	s.samplerQueries[ep][sampler].Add(1)
 	if o.TargetRelStdErr != 0 {
 		target := o.TargetRelStdErr
 		if target < 0 || target >= 1 || math.IsNaN(target) {
@@ -509,11 +536,11 @@ func (s *Server) options(o estimateOptions) ([]soferr.EstimateOption, error) {
 	return opts, nil
 }
 
-// optionsStatus maps an options() failure: out-of-domain targets are
-// semantically unanswerable (422), everything else is a malformed
-// request (400).
+// optionsStatus maps an options() failure: out-of-domain targets and
+// unknown sampler names are semantically unanswerable (422),
+// everything else is a malformed request (400).
 func optionsStatus(err error) int {
-	if errors.Is(err, errTargetOutOfDomain) {
+	if errors.Is(err, errTargetOutOfDomain) || errors.Is(err, errUnknownSampler) {
 		return http.StatusUnprocessableEntity
 	}
 	return http.StatusBadRequest
@@ -556,7 +583,7 @@ func (s *Server) handleMTTF(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	opts, err := s.options(req.estimateOptions)
+	opts, err := s.options(epMTTF, req.estimateOptions)
 	if err != nil {
 		s.writeError(w, r, optionsStatus(err), err.Error())
 		return
@@ -607,7 +634,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	opts, err := s.options(req.estimateOptions)
+	opts, err := s.options(epCompare, req.estimateOptions)
 	if err != nil {
 		s.writeError(w, r, optionsStatus(err), err.Error())
 		return
@@ -763,6 +790,9 @@ type sweepRequest struct {
 	Seed   uint64 `json:"seed,omitempty"`
 	Trials int    `json:"trials,omitempty"`
 	Engine string `json:"engine,omitempty"`
+	// Sampler applies to every cell's Monte-Carlo query, validated
+	// exactly as on the estimate endpoints.
+	Sampler string `json:"sampler,omitempty"`
 	// TargetRelStdErr applies adaptive precision targeting to every
 	// cell's Monte-Carlo query (clamped and validated exactly as on the
 	// estimate endpoints).
@@ -836,9 +866,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	// No withDeadline here: the sweep's single deadline goes on the
 	// whole-request context below, not on each cell's query.
-	opts, err := s.options(estimateOptions{
+	opts, err := s.options(epSweep, estimateOptions{
 		Trials:          req.Trials,
 		Engine:          req.Engine,
+		Sampler:         req.Sampler,
 		TargetRelStdErr: req.TargetRelStdErr,
 		Workers:         req.Workers,
 	})
@@ -1073,6 +1104,11 @@ type Metrics struct {
 	// server errors, and timeouts, so an operator can tell overload and
 	// bugs apart from bad requests at a glance.
 	ErrorClasses map[string]ErrorClassCounts `json:"error_classes"`
+	// Samplers labels each estimate endpoint's queries by the
+	// Monte-Carlo sampler they resolved to, so PCG-vs-Sobol adoption is
+	// observable per endpoint. Endpoints that never run Monte-Carlo
+	// (reliability, quantile) are omitted.
+	Samplers map[string]SamplerCounts `json:"samplers"`
 	// PanicsRecovered counts handler panics the recovery middleware
 	// contained; any nonzero value is a bug worth chasing, but a bug
 	// that did not take the process down.
@@ -1108,6 +1144,12 @@ type ErrorClassCounts struct {
 	Timeouts int64 `json:"timeouts"`
 }
 
+// SamplerCounts is one estimate endpoint's queries by sampler.
+type SamplerCounts struct {
+	PCG   int64 `json:"pcg"`
+	Sobol int64 `json:"sobol"`
+}
+
 // Metrics returns a snapshot of the server's counters.
 func (s *Server) Metrics() Metrics {
 	var m Metrics
@@ -1127,6 +1169,13 @@ func (s *Server) Metrics() Metrics {
 			C4xx:     s.errClasses[i][0].Load(),
 			C5xx:     s.errClasses[i][1].Load(),
 			Timeouts: s.errClasses[i][2].Load(),
+		}
+	}
+	m.Samplers = make(map[string]SamplerCounts, 3)
+	for _, ep := range []endpoint{epMTTF, epCompare, epSweep} {
+		m.Samplers[endpointNames[ep]] = SamplerCounts{
+			PCG:   s.samplerQueries[ep][0].Load(),
+			Sobol: s.samplerQueries[ep][1].Load(),
 		}
 	}
 	m.PanicsRecovered = s.panics.Load()

@@ -353,3 +353,70 @@ func (m *MergedExposure) Invert(h float64) float64 {
 	}
 	return x
 }
+
+// InvertSortedInto resolves a whole batch of hazard targets in one
+// forward sweep: hs must be sorted ascending, and the inverse of hs[p]
+// is written to res[idx[p]] (idx scatters results back to the caller's
+// original order after an argsort). Each element receives exactly
+// Invert(hs[p]) — bit-identical, same segment, same arithmetic — but
+// the lookup is a monotone galloping cursor instead of a fresh binary
+// search: from the previous element's segment, doubling steps bracket
+// the next target and a binary search pins it inside the bracket, so
+// each element costs O(log gap) where gap is the segment distance to
+// the previous target — O(B) total when sorted targets cluster, and
+// never worse than B fresh O(log S) searches when they spread across a
+// segment-rich table. This is the kernel behind the Monte-Carlo
+// batched trial path; FuzzBatchedInversion asserts the equivalence on
+// random tables.
+//
+// hs and idx must have equal length and res must be at least as long as
+// every idx entry requires; unsorted input silently produces values for
+// wrong segments (the caller owns the sort).
+//
+//soferr:hotpath
+func (m *MergedExposure) InvertSortedInto(hs []float64, idx []int, res []float64) {
+	total := m.cumHaz[len(m.haz)]
+	last := len(m.haz) - 1
+	c := 0
+	for p, h := range hs {
+		if h < 0 {
+			h = 0 // clamping preserves the sorted order
+		}
+		if h >= total {
+			// Sorted input: every later element lands here too, but the
+			// per-element check keeps the loop branch-free of state.
+			res[idx[p]] = m.period
+			continue
+		}
+		// Find the first segment at or after the cursor whose cumulative
+		// hazard exceeds h — the exact index Invert's sort.Search finds
+		// (h < total guarantees one exists). Gallop past known-too-small
+		// indices, then binary-search the bracket: every index below
+		// c+off/2+1 was seen to be too small, and c+off is either past
+		// the end or known to suffice.
+		if m.cumHaz[c+1] <= h {
+			off := 1
+			for c+off < last && m.cumHaz[c+off+1] <= h {
+				off <<= 1
+			}
+			lo, hi := c+off/2+1, c+off
+			if hi > last {
+				hi = last
+			}
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if m.cumHaz[mid+1] <= h {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			c = lo
+		}
+		x := m.starts[c] + (h-m.cumHaz[c])/m.haz[c]
+		if x > m.starts[c+1] {
+			x = m.starts[c+1]
+		}
+		res[idx[p]] = x
+	}
+}

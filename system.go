@@ -77,6 +77,14 @@ func EngineByName(name string) (Engine, error) {
 	return montecarlo.EngineByName(name)
 }
 
+// SamplerByName parses a sampler name as printed by Sampler.String,
+// case-insensitively; the empty string is the PCG default. Like
+// EngineByName it is the single name-parsing point shared by the CLI
+// -sampler flags and the server's request decoding.
+func SamplerByName(name string) (Sampler, error) {
+	return montecarlo.SamplerByName(name)
+}
+
 // Methods returns all estimation methods in comparison order.
 func Methods() []Method { return []Method{AVFSOFR, MonteCarlo, SoftArch} }
 
@@ -119,6 +127,11 @@ type Estimate struct {
 	// Engine is the Monte-Carlo trial implementation used (zero
 	// otherwise).
 	Engine Engine
+	// Sampler is the uniform-draw source the Monte-Carlo run used (PCG,
+	// the zero value, unless WithSampler selected another). For Sobol
+	// runs, Trials is still the effective trial count the estimate
+	// averaged over — QMC points count one-for-one as trials.
+	Sampler Sampler
 	// TargetRelStdErr is the adaptive precision target the query asked
 	// for (WithTargetRelStdErr); zero for fixed-trial runs. When set,
 	// Trials records the trial count the adaptive run actually used and
@@ -159,6 +172,7 @@ func (e Estimate) MarshalJSON() ([]byte, error) {
 		out["trials"] = e.Trials
 		out["seed"] = e.Seed
 		out["engine"] = e.Engine.String()
+		out["sampler"] = e.Sampler.String()
 		out["cached"] = e.Cached
 		if e.TargetRelStdErr != 0 {
 			out["target_rel_stderr"] = JSONFloat(e.TargetRelStdErr)
@@ -182,11 +196,12 @@ func (e *Estimate) UnmarshalJSON(data []byte) error {
 		MTTF   JSONFloat `json:"mttf_seconds"`
 		FIT    JSONFloat `json:"fit"`
 		StdErr JSONFloat `json:"stderr_seconds"`
-		Trials int       `json:"trials"`
-		Seed   uint64    `json:"seed"`
-		Engine string    `json:"engine"`
-		Target JSONFloat `json:"target_rel_stderr"`
-		Cached bool      `json:"cached"`
+		Trials  int       `json:"trials"`
+		Seed    uint64    `json:"seed"`
+		Engine  string    `json:"engine"`
+		Sampler string    `json:"sampler"`
+		Target  JSONFloat `json:"target_rel_stderr"`
+		Cached  bool      `json:"cached"`
 	}
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
@@ -202,6 +217,12 @@ func (e *Estimate) UnmarshalJSON(data []byte) error {
 			return err
 		}
 	}
+	// SamplerByName treats the empty string as the PCG default, so
+	// documents predating the sampler field decode unchanged.
+	sampler, err := SamplerByName(raw.Sampler)
+	if err != nil {
+		return err
+	}
 	*e = Estimate{
 		Method:          method,
 		MTTF:            float64(raw.MTTF),
@@ -210,6 +231,7 @@ func (e *Estimate) UnmarshalJSON(data []byte) error {
 		Trials:          raw.Trials,
 		Seed:            raw.Seed,
 		Engine:          engine,
+		Sampler:         sampler,
 		TargetRelStdErr: float64(raw.Target),
 		Cached:          raw.Cached,
 	}
@@ -303,6 +325,7 @@ type estimateSettings struct {
 	trials    int
 	seed      uint64
 	engine    Engine
+	sampler   Sampler
 	workers   int
 	timeLimit time.Duration
 	targetRSE float64
@@ -325,6 +348,17 @@ func WithSeed(seed uint64) EstimateOption {
 // trial-free closed-form answer with zero standard error).
 func WithEngine(e Engine) EstimateOption {
 	return func(s *estimateSettings) { s.engine = e }
+}
+
+// WithSampler selects the Monte-Carlo uniform-draw source (default
+// PCG). Sobol switches the Inverted and Fused engines to Owen-scrambled
+// quasi-Monte-Carlo points: variance falls near O(1/n) instead of
+// O(1/sqrt n), so adaptive precision targets are reached in far fewer
+// trials. Sampler-incompatible engines (Superposed, Naive, or systems
+// with thinning-fallback components) reject Sobol with
+// ErrSamplerUnsupported; the Exact engine ignores samplers entirely.
+func WithSampler(s Sampler) EstimateOption {
+	return func(set *estimateSettings) { set.sampler = s }
 }
 
 // WithWorkers bounds Monte-Carlo parallelism (default GOMAXPROCS).
@@ -414,6 +448,7 @@ type mcCacheKey struct {
 	trials    int
 	seed      uint64
 	engine    Engine
+	sampler   Sampler
 	targetRSE float64
 }
 
@@ -651,12 +686,12 @@ func (s *System) monteCarlo(ctx context.Context, set estimateSettings) (Estimate
 	}
 	if set.engine == Exact {
 		// The exact engine is trial-free and deterministic: trials,
-		// seed, and precision target cannot change the answer, so they
-		// are normalized out of the cache key and the estimate — every
-		// exact query on this system shares one cache entry.
-		set.trials, set.seed, set.targetRSE = 0, 0, 0
+		// seed, sampler, and precision target cannot change the answer,
+		// so they are normalized out of the cache key and the estimate —
+		// every exact query on this system shares one cache entry.
+		set.trials, set.seed, set.sampler, set.targetRSE = 0, 0, PCG, 0
 	}
-	key := mcCacheKey{trials: set.trials, seed: set.seed, engine: set.engine, targetRSE: set.targetRSE}
+	key := mcCacheKey{trials: set.trials, seed: set.seed, engine: set.engine, sampler: set.sampler, targetRSE: set.targetRSE}
 	if !s.noCache {
 		if v, ok := s.mcCache.Load(key); ok {
 			est := v.(Estimate)
@@ -668,6 +703,7 @@ func (s *System) monteCarlo(ctx context.Context, set estimateSettings) (Estimate
 		Trials:          set.trials,
 		Seed:            set.seed,
 		Engine:          set.engine,
+		Sampler:         set.sampler,
 		Workers:         set.workers,
 		TargetRelStdErr: set.targetRSE,
 	})
@@ -705,6 +741,7 @@ func newEstimate(m Method, mttf, stderr float64, set estimateSettings) Estimate 
 		est.Trials = set.trials
 		est.Seed = set.seed
 		est.Engine = set.engine
+		est.Sampler = set.sampler
 		est.TargetRelStdErr = set.targetRSE
 	}
 	return est
